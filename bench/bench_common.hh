@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ */
+
+#ifndef MSGSIM_BENCH_BENCH_COMMON_HH
+#define MSGSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "protocols/stack.hh"
+
+namespace msgsim::bench
+{
+
+/** The paper's measurement setup: CM-5 substrate, n = 4. */
+inline StackConfig
+paperCm5(bool halfOoo = false)
+{
+    StackConfig cfg;
+    cfg.substrate = Substrate::Cm5;
+    cfg.nodes = 4;
+    cfg.dataWords = 4;
+    if (halfOoo)
+        cfg.order = swapAdjacentFactory();
+    return cfg;
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/** Print a percentage with one decimal. */
+inline std::string
+pct(double frac)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+    return buf;
+}
+
+} // namespace msgsim::bench
+
+#endif // MSGSIM_BENCH_BENCH_COMMON_HH

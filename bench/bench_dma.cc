@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation for §5's DMA discussion: "while DMA hardware can reduce
+ * the cost of moving large amounts of data ... this would also
+ * reduce the base cost, increasing the importance of the software
+ * messaging layers."  Runs the finite-sequence transfer with
+ * programmed I/O and with DMA payload movement across packet sizes,
+ * measured from live simulation.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "protocols/finite_xfer.hh"
+
+using namespace msgsim;
+using namespace msgsim::bench;
+
+int
+main()
+{
+    banner("DMA vs programmed I/O: finite sequence, 1024-word "
+           "message");
+    std::printf("  %6s | %10s %9s | %10s %9s\n", "n", "PIO instr",
+                "overhead", "DMA instr", "overhead");
+    for (int n : {4, 16, 64, 128}) {
+        StackConfig pio_cfg = paperCm5();
+        pio_cfg.dataWords = n;
+        Stack pio(pio_cfg);
+        FiniteXfer p1(pio);
+        FiniteXferParams params;
+        params.words = 1024;
+        const auto r1 = p1.run(params);
+
+        StackConfig dma_cfg = pio_cfg;
+        dma_cfg.dmaXfer = true;
+        Stack dma(dma_cfg);
+        FiniteXfer p2(dma);
+        params.dma = true;
+        const auto r2 = p2.run(params);
+
+        std::printf("  %6d | %10llu %9s | %10llu %9s%s%s\n", n,
+                    static_cast<unsigned long long>(
+                        r1.counts.paperTotal()),
+                    pct(r1.counts.overheadFraction()).c_str(),
+                    static_cast<unsigned long long>(
+                        r2.counts.paperTotal()),
+                    pct(r2.counts.overheadFraction()).c_str(),
+                    r1.dataOk ? "" : " [PIO FAILED]",
+                    r2.dataOk ? "" : " [DMA FAILED]");
+    }
+    std::printf("\nDMA shrinks the base cost (per-word ldd/std and "
+                "FIFO traffic -> one descriptor per packet) but not "
+                "one instruction of the handshake/ordering/ack "
+                "machinery — the overhead FRACTION rises, which is "
+                "exactly the paper's argument for fixing the network "
+                "semantics instead\n");
+    return 0;
+}

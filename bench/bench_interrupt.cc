@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation for paper footnote 2: "The CM-5 NI also supports an
+ * interrupt-driven interface for reception; however, the cost for
+ * interrupts is very high for the SPARC processor."  Runs the same
+ * event-driven stream under polling and under interrupts, across
+ * arrival-scatter levels (latency jitter), and reports the price of
+ * each trap.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "protocols/stream.hh"
+
+using namespace msgsim;
+using namespace msgsim::bench;
+
+int
+main()
+{
+    banner("Reception discipline: poll vs interrupt "
+           "(256-word stream, event mode)");
+    std::printf("  %8s | %12s | %12s %10s | %8s\n", "jitter",
+                "poll instr", "intr instr", "traps", "penalty");
+    for (Tick jitter : {0ull, 10ull, 40ull, 160ull}) {
+        StackConfig cfg = paperCm5();
+        cfg.maxJitter = jitter;
+
+        Stack s1(cfg);
+        StreamProtocol p1(s1);
+        StreamParams params;
+        params.words = 256;
+        params.eventMode = true;
+        params.discipline = RecvDiscipline::Poll;
+        const auto polled = p1.run(params);
+
+        Stack s2(cfg);
+        StreamProtocol p2(s2);
+        params.discipline = RecvDiscipline::Interrupt;
+        const auto intr = p2.run(params);
+
+        const auto traps = s2.cmam(0).interruptsTaken() +
+                           s2.cmam(1).interruptsTaken();
+        std::printf("  %8llu | %12llu | %12llu %10llu | %7.1f%%%s%s\n",
+                    static_cast<unsigned long long>(jitter),
+                    static_cast<unsigned long long>(
+                        polled.counts.paperTotal()),
+                    static_cast<unsigned long long>(
+                        intr.counts.paperTotal()),
+                    static_cast<unsigned long long>(traps),
+                    100.0 * (static_cast<double>(
+                                 intr.counts.paperTotal()) /
+                                 static_cast<double>(
+                                     polled.counts.paperTotal()) -
+                             1.0),
+                    polled.dataOk ? "" : " [POLL FAILED]",
+                    intr.dataOk ? "" : " [INTR FAILED]");
+    }
+    std::printf("\nscattered arrivals defeat trap batching: one "
+                "~98-instruction trap per packet vs a 13-instruction "
+                "poll entry — footnote 2's rationale for polling\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation for the paper's premise: "User-level access to the CM-5
+ * network interface is essential for low-cost communication" (§3.1)
+ * and the §5 note that protection is the issue any tens-of-
+ * instructions design must face.  Re-runs the protocols with every
+ * messaging call crossing into the kernel (trap + dispatch +
+ * permission checks, 120 modeled instructions per crossing).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "protocols/finite_xfer.hh"
+#include "protocols/single_packet.hh"
+#include "protocols/stream.hh"
+
+using namespace msgsim;
+using namespace msgsim::bench;
+
+int
+main()
+{
+    banner("User-level vs kernel-mediated NI access");
+    std::printf("  %-26s | %12s | %12s | %8s\n", "workload",
+                "user-level", "kernel", "blowup");
+
+    auto row = [](const char *label, std::uint64_t user,
+                  std::uint64_t kernel) {
+        std::printf("  %-26s | %12llu | %12llu | %7.2fx\n", label,
+                    static_cast<unsigned long long>(user),
+                    static_cast<unsigned long long>(kernel),
+                    static_cast<double>(kernel) /
+                        static_cast<double>(user));
+    };
+
+    {
+        Stack u(paperCm5());
+        const auto ru = runSinglePacket(u, {});
+        StackConfig kc = paperCm5();
+        kc.kernelMediated = true;
+        Stack k(kc);
+        const auto rk = runSinglePacket(k, {});
+        row("single packet", ru.counts.paperTotal(),
+            rk.counts.paperTotal());
+    }
+    for (std::uint32_t words : {16u, 1024u}) {
+        Stack u(paperCm5());
+        FiniteXfer pu(u);
+        FiniteXferParams p;
+        p.words = words;
+        const auto ru = pu.run(p);
+
+        StackConfig kc = paperCm5();
+        kc.kernelMediated = true;
+        Stack k(kc);
+        FiniteXfer pk(k);
+        const auto rk = pk.run(p);
+        char label[64];
+        std::snprintf(label, sizeof(label), "finite %u words", words);
+        row(label, ru.counts.paperTotal(), rk.counts.paperTotal());
+    }
+    for (std::uint32_t words : {16u, 1024u}) {
+        Stack u(paperCm5(true));
+        StreamProtocol pu(u);
+        StreamParams p;
+        p.words = words;
+        const auto ru = pu.run(p);
+
+        StackConfig kc = paperCm5(true);
+        kc.kernelMediated = true;
+        Stack k(kc);
+        StreamProtocol pk(k);
+        const auto rk = pk.run(p);
+        char label[64];
+        std::snprintf(label, sizeof(label), "stream %u words", words);
+        row(label, ru.counts.paperTotal(), rk.counts.paperTotal());
+    }
+    std::printf("\nper-packet user calls (the stream's sends) are "
+                "crushed by per-call kernel crossings; batched calls "
+                "(the xfer loop) amortize them — the design space "
+                "the paper's user-level-NI premise avoids entirely\n");
+    return 0;
+}

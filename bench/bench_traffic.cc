@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Machine-wide traffic experiment: active-message load under the
+ * classic patterns (uniform random, permutation, hotspot, ring,
+ * transpose) on a 32-node machine with finite link bandwidth.
+ * Reports per-node software cost, load imbalance (hotspots
+ * concentrate the 27-instruction receive bill), and completion time.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "workload/traffic.hh"
+
+using namespace msgsim;
+using namespace msgsim::bench;
+
+int
+main()
+{
+    banner("AM traffic patterns: 32 nodes, 64 messages/node, link "
+           "serialization 5 ticks/packet");
+    std::printf("  %-16s | %8s | %12s | %10s | %9s | %8s\n",
+                "pattern", "msgs", "instr/node", "imbalance",
+                "elapsed", "status");
+    for (auto pattern :
+         {TrafficPattern::UniformRandom, TrafficPattern::Permutation,
+          TrafficPattern::Hotspot, TrafficPattern::Ring,
+          TrafficPattern::Transpose}) {
+        StackConfig cfg = paperCm5();
+        cfg.nodes = 32;
+        cfg.injectGap = 5;
+        cfg.deliverGap = 5;
+        cfg.maxJitter = 10;
+        Stack stack(cfg);
+        TrafficRunner runner(stack);
+        TrafficGen gen(32, pattern, 77);
+        const auto res = runner.run(gen, 64);
+        std::printf("  %-16s | %8llu | %12.0f | %9.2fx | %9llu | %8s\n",
+                    toString(pattern),
+                    static_cast<unsigned long long>(res.messages),
+                    res.perNodeInstr.mean(), res.maxOverMean,
+                    static_cast<unsigned long long>(res.elapsed),
+                    res.ok ? "ok" : "FAILED");
+    }
+    std::printf(
+        "\nimbalance = hottest node's instruction bill over the "
+        "mean: hotspot traffic concentrates the per-packet receive "
+        "cost (27 instructions each) on one processor — software "
+        "overhead is also a load-balance problem\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Window flow-control sweep: the indefinite-sequence protocol's
+ * in-flight window versus achieved bandwidth on a link-serialized
+ * network — the classic bandwidth-delay-product curve, showing why
+ * end-to-end flow control (the paper's deadlock/overflow-safety
+ * service) has a throughput price when implemented in software with
+ * acknowledgement-paced windows.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "protocols/stream.hh"
+
+using namespace msgsim;
+using namespace msgsim::bench;
+
+int
+main()
+{
+    banner("Ack-paced window sweep: 1024-word stream, link "
+           "serialization 5 ticks/packet");
+    std::printf("  %8s | %10s | %14s | %8s\n", "window", "elapsed",
+                "words/kilotick", "acks");
+    for (std::uint32_t w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 0u}) {
+        StackConfig cfg = paperCm5();
+        cfg.memWords = 1u << 24;
+        cfg.injectGap = 5;
+        cfg.deliverGap = 5;
+        Stack stack(cfg);
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = 1024;
+        p.eventMode = true;
+        p.window = w;
+        p.retxTimeout = 200'000;
+        const auto res = proto.run(p);
+        const double bw =
+            res.elapsed ? 1000.0 * 1024.0 /
+                              static_cast<double>(res.elapsed)
+                        : 0.0;
+        char wlabel[16];
+        if (w == 0)
+            std::snprintf(wlabel, sizeof(wlabel), "inf");
+        else
+            std::snprintf(wlabel, sizeof(wlabel), "%u", w);
+        std::printf("  %8s | %10llu | %14.1f | %8llu%s\n", wlabel,
+                    static_cast<unsigned long long>(res.elapsed), bw,
+                    static_cast<unsigned long long>(res.acksSent),
+                    res.dataOk ? "" : "  [FAILED]");
+    }
+    std::printf("\nsmall windows idle the wire for a round trip per "
+                "burst; once the window covers the bandwidth-delay "
+                "product, throughput saturates at the serialization "
+                "limit — hardware end-to-end flow control (CR) gets "
+                "this without any window bookkeeping\n");
+    return 0;
+}

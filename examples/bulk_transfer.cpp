@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bulk memory-to-memory transfer — the workload that motivates the
+ * paper's finite-sequence protocol.  Moves a buffer from node 0 to
+ * node 1 twice: once over the CMAM/CM-5 stack (handshake + offsets +
+ * ack) and once over the high-level-features stack (just send it),
+ * then compares the bills.
+ *
+ *   $ ./bulk_transfer [words]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report.hh"
+#include "hlam/hl_stack.hh"
+#include "protocols/finite_xfer.hh"
+
+using namespace msgsim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t words = 1024;
+    if (argc > 1)
+        words = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    if (words == 0 || words % 4 != 0) {
+        std::fprintf(stderr, "words must be a positive multiple of 4\n");
+        return 1;
+    }
+
+    std::printf("bulk transfer of %u words (%u packets)\n\n", words,
+                words / 4);
+
+    // --- CMAM on the CM-5-like network --------------------------
+    StackConfig cfg;
+    cfg.nodes = 2;
+    cfg.memWords = 1u << 24;
+    Stack cm5(cfg);
+    FiniteXfer proto(cm5);
+    FiniteXferParams p;
+    p.words = words;
+    const auto rc = proto.run(p);
+    std::printf("%s", featureTable("CMAM finite-sequence protocol "
+                                   "(6 steps: request, allocate, "
+                                   "reply, data, free, ack)",
+                                   rc.counts)
+                          .c_str());
+    std::printf("integrity: %s\n\n", rc.dataOk ? "ok" : "FAILED");
+
+    // --- High-level features on the CR network ------------------
+    HlStackConfig hcfg;
+    hcfg.nodes = 2;
+    hcfg.memWords = 1u << 24;
+    HlStack hl(hcfg);
+    HlXferParams hp;
+    hp.words = words;
+    const auto rh = runHlFinite(hl, hp);
+    std::printf("%s", featureTable("High-level-features protocol "
+                                   "(just inject; the header packet "
+                                   "sizes the buffer)",
+                                   rh.counts)
+                          .c_str());
+    std::printf("integrity: %s\n\n", rh.dataOk ? "ok" : "FAILED");
+
+    const double imp =
+        1.0 - static_cast<double>(rh.counts.paperTotal()) /
+                  static_cast<double>(rc.counts.paperTotal());
+    std::printf("software instructions saved by in-order + "
+                "flow-controlled + reliable hardware: %.1f%%\n",
+                imp * 100.0);
+    return 0;
+}

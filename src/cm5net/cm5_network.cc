@@ -1,0 +1,112 @@
+#include "cm5net/cm5_network.hh"
+
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+Cm5Network::Cm5Network(Simulator &sim, const Config &cfg)
+    : Network(sim), cfg_(cfg), tree_(cfg.nodes, cfg.arity),
+      faults_(cfg.faults), rng_(cfg.seed)
+{
+    if (!cfg_.orderFactory)
+        cfg_.orderFactory = fifoOrderFactory();
+}
+
+OrderPolicy &
+Cm5Network::policyFor(const FlowKey &flow)
+{
+    auto it = policies_.find(flow);
+    if (it == policies_.end())
+        it = policies_.emplace(flow, cfg_.orderFactory()).first;
+    return *it->second;
+}
+
+bool
+Cm5Network::injectImpl(Packet &&pkt)
+{
+    if (cfg_.injectBusyRate > 0.0 && rng_.chance(cfg_.injectBusyRate))
+        return false; // send_ok will read 0; software retries the push
+
+    switch (faults_.apply(pkt)) {
+      case FaultAction::Drop:
+        ++stats_.dropped;
+        trace(TraceEvent::Drop, pkt);
+        return true; // accepted by the network, silently lost inside
+      case FaultAction::Corrupt:
+        ++stats_.corrupted;
+        trace(TraceEvent::Corrupt, pkt);
+        break; // travels on; the NI's CRC check will reject it
+      case FaultAction::None:
+        break;
+    }
+
+    Tick latency = cfg_.baseLatency +
+                   cfg_.hopLatency * tree_.hops(pkt.src, pkt.dst);
+    if (cfg_.maxJitter > 0)
+        latency += rng_.below(cfg_.maxJitter + 1);
+
+    // Link-bandwidth serialization: packets leave a node no faster
+    // than the injection port drains, and arrive at a node no faster
+    // than its input port fills.
+    Tick departure = sim_.now();
+    if (cfg_.injectGap > 0) {
+        auto it = lastDeparture_.find(pkt.src);
+        if (it != lastDeparture_.end())
+            departure = std::max(departure,
+                                 it->second + cfg_.injectGap);
+        lastDeparture_[pkt.src] = departure;
+    }
+    Tick arrival = departure + latency;
+    if (cfg_.deliverGap > 0) {
+        auto it = lastArrival_.find(pkt.dst);
+        if (it != lastArrival_.end())
+            arrival = std::max(arrival, it->second + cfg_.deliverGap);
+        lastArrival_[pkt.dst] = arrival;
+    }
+
+    // Move the packet into the scheduled closure.
+    auto carried = std::make_shared<Packet>(std::move(pkt));
+    sim_.scheduleAt(arrival, [this, carried]() mutable {
+        arriveAtEdge(std::move(*carried));
+    });
+    return true;
+}
+
+void
+Cm5Network::arriveAtEdge(Packet &&pkt)
+{
+    auto &policy =
+        policyFor({pkt.src, pkt.dst, static_cast<int>(pkt.vnet)});
+    std::vector<Packet> release;
+    policy.arrive(std::move(pkt), release);
+    for (auto &p : release)
+        tryDeliver(std::move(p));
+}
+
+void
+Cm5Network::tryDeliver(Packet &&pkt)
+{
+    if (presentToSink(std::move(pkt)))
+        return;
+    // Sink full: the packet occupies network buffers and is offered
+    // again later — backpressure.
+    ++stats_.deliveryRetries;
+    auto carried = std::make_shared<Packet>(std::move(pkt));
+    sim_.schedule(cfg_.retryDelay, [this, carried]() mutable {
+        tryDeliver(std::move(*carried));
+    });
+}
+
+void
+Cm5Network::flushHeldPackets()
+{
+    for (auto &[flow, policy] : policies_) {
+        std::vector<Packet> release;
+        policy->flush(release);
+        for (auto &p : release)
+            tryDeliver(std::move(p));
+    }
+}
+
+} // namespace msgsim

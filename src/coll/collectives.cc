@@ -1,0 +1,413 @@
+#include "coll/collectives.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+namespace
+{
+
+/** Pack (kind, seq) into the first payload word. */
+Word
+packMeta(Word kind, Word seq, Word round)
+{
+    return (kind << 24) | ((round & 0xffu) << 16) | (seq & 0xffffu);
+}
+
+Word metaKind(Word w) { return w >> 24; }
+Word metaRound(Word w) { return (w >> 16) & 0xffu; }
+Word metaSeq(Word w) { return w & 0xffffu; }
+
+} // namespace
+
+Collectives::Collectives(Stack &stack) : stack_(stack)
+{
+    const std::uint32_t n = nodes();
+    handlerIds_.resize(n);
+    for (NodeId id = 0; id < n; ++id)
+        handlerIds_[id] = stack_.cmam(id).registerHandler(
+            [this, id](NodeId src, const std::vector<Word> &args) {
+                onMessage(id, src, args);
+            });
+}
+
+std::uint32_t
+Collectives::rounds() const
+{
+    std::uint32_t r = 0;
+    while ((1u << r) < nodes())
+        ++r;
+    return r;
+}
+
+void
+Collectives::amSend(NodeId self, NodeId dst, Kind kind, Word a, Word b)
+{
+    Node &node = stack_.node(self);
+    FeatureScope fs(node.acct(), Feature::BaseCost);
+    stack_.cmam(self).am4(
+        dst, handlerIds_[dst],
+        {packMeta(static_cast<Word>(kind), seq_, a), b});
+    ++messages_;
+}
+
+void
+Collectives::onMessage(NodeId self, NodeId src,
+                       const std::vector<Word> &args)
+{
+    Node &node = stack_.node(self);
+    Processor &p = node.proc();
+    const Word meta = args.at(0);
+    // Handler prologue: unpack kind/seq/round, staleness check.
+    p.regOps(4);
+    if (metaSeq(meta) != (seq_ & 0xffffu))
+        return; // straggler from a previous collective
+
+    switch (static_cast<Kind>(metaKind(meta))) {
+      case Kind::BarrierToken: {
+        const std::uint32_t round = metaRound(meta);
+        gotToken_[self][round] = true;
+        p.regOps(2); // token bookkeeping
+        barrierAdvance(self);
+        break;
+      }
+      case Kind::BcastValue: {
+        if (!hasValue_[self]) {
+            hasValue_[self] = true;
+            bcastValue_[self] = args.at(1);
+            p.regOps(2); // store value, mark
+            bcastForward(self, metaRound(meta));
+        }
+        break;
+      }
+      case Kind::GatherValue:
+      case Kind::AllToAllValue: {
+        // args.at(1) = value; sender identity from the AM itself.
+        p.regOps(2); // table index + store
+        exchange_[self][src] = args.at(1);
+        ++exchangeGot_[self];
+        break;
+      }
+      case Kind::ReduceContrib: {
+        // Combine the contribution into the local accumulator.
+        p.regOps(2);
+        const Word v = args.at(1);
+        switch (reduceOp_) {
+          case ReduceOp::Sum:
+            accum_[self] += v;
+            break;
+          case ReduceOp::Max:
+            accum_[self] = std::max(accum_[self], v);
+            break;
+          case ReduceOp::Min:
+            accum_[self] = std::min(accum_[self], v);
+            break;
+          case ReduceOp::BitOr:
+            accum_[self] |= v;
+            break;
+        }
+        ++contribGot_[self];
+        reduceTrySend(self);
+        break;
+      }
+      default:
+        msgsim_panic("collectives: bad message kind from node ", src);
+    }
+}
+
+bool
+Collectives::progress(const std::function<bool()> &done)
+{
+    for (int round = 0; round < 256; ++round) {
+        if (done())
+            return true;
+        stack_.settle();
+        bool any = false;
+        for (NodeId id = 0; id < nodes(); ++id) {
+            Node &node = stack_.node(id);
+            if (!node.ni().hwRecvPending())
+                continue;
+            any = true;
+            FeatureScope fs(node.acct(), Feature::BaseCost);
+            stack_.cmam(id).poll();
+        }
+        if (!any && done())
+            return true;
+        if (!any)
+            return done();
+    }
+    return done();
+}
+
+std::uint64_t
+Collectives::totalInstructions()
+{
+    std::uint64_t sum = 0;
+    for (NodeId id = 0; id < nodes(); ++id)
+        sum += stack_.node(id).acct().counter().paperTotal();
+    return sum;
+}
+
+// ------------------------------------------------------------------
+// Barrier (dissemination).
+// ------------------------------------------------------------------
+
+void
+Collectives::barrierAdvance(NodeId self)
+{
+    const std::uint32_t r = rounds();
+    while (waitRound_[self] < r && gotToken_[self][waitRound_[self]]) {
+        ++waitRound_[self];
+        if (waitRound_[self] < r) {
+            const NodeId peer = static_cast<NodeId>(
+                (self + (1u << waitRound_[self])) % nodes());
+            amSend(self, peer, Kind::BarrierToken, waitRound_[self],
+                   0);
+        }
+    }
+    if (waitRound_[self] >= r)
+        barrierDone_[self] = true;
+}
+
+Collectives::CollResult
+Collectives::barrier()
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    const std::uint32_t r = rounds();
+    ++seq_;
+    messages_ = 0;
+    gotToken_.assign(n, std::vector<bool>(std::max(r, 1u), false));
+    waitRound_.assign(n, 0);
+    barrierDone_.assign(n, r == 0);
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    if (r > 0)
+        for (NodeId id = 0; id < n; ++id)
+            amSend(id, static_cast<NodeId>((id + 1) % n),
+                   Kind::BarrierToken, 0, 0);
+    res.ok = progress([this] {
+        for (bool d : barrierDone_)
+            if (!d)
+                return false;
+        return true;
+    });
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+// ------------------------------------------------------------------
+// Broadcast (binomial tree).
+// ------------------------------------------------------------------
+
+void
+Collectives::bcastForward(NodeId self, std::uint32_t from_round)
+{
+    const std::uint32_t n = nodes();
+    const std::uint32_t rel = (self + n - bcastRoot_) % n;
+    for (std::uint32_t k = from_round; k < rounds(); ++k) {
+        const std::uint32_t peer_rel = rel + (1u << k);
+        if (rel < (1u << k) && peer_rel < n) {
+            const NodeId peer =
+                static_cast<NodeId>((bcastRoot_ + peer_rel) % n);
+            amSend(self, peer, Kind::BcastValue, k + 1,
+                   bcastValue_[self]);
+        }
+    }
+}
+
+Collectives::CollResult
+Collectives::broadcast(NodeId root, Word value, std::vector<Word> &out)
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    ++seq_;
+    messages_ = 0;
+    bcastRoot_ = root;
+    hasValue_.assign(n, false);
+    bcastValue_.assign(n, 0);
+    hasValue_[root] = true;
+    bcastValue_[root] = value;
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    bcastForward(root, 0);
+    res.ok = progress([this] {
+        for (bool h : hasValue_)
+            if (!h)
+                return false;
+        return true;
+    });
+    out = bcastValue_;
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+// ------------------------------------------------------------------
+// Reduce (binomial combining tree).
+// ------------------------------------------------------------------
+
+void
+Collectives::reduceTrySend(NodeId self)
+{
+    if (contribSent_[self])
+        return;
+    if (contribGot_[self] < contribWant_[self])
+        return;
+    const std::uint32_t n = nodes();
+    const std::uint32_t rel = (self + n - reduceRoot_) % n;
+    if (rel == 0)
+        return; // the root only collects
+    // Parent: clear the lowest set bit of the relative rank.
+    const std::uint32_t lsb = rel & (~rel + 1);
+    const NodeId parent =
+        static_cast<NodeId>((reduceRoot_ + (rel - lsb)) % n);
+    contribSent_[self] = true;
+    amSend(self, parent, Kind::ReduceContrib, 0, accum_[self]);
+}
+
+Collectives::CollResult
+Collectives::reduce(ReduceOp op, const std::vector<Word> &in,
+                    Word &out, NodeId root)
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    if (in.size() != n)
+        msgsim_fatal("reduce: need one contribution per node (", n,
+                     "), got ", in.size());
+    ++seq_;
+    messages_ = 0;
+    reduceOp_ = op;
+    reduceRoot_ = root;
+    accum_ = in;
+    contribWant_.assign(n, 0);
+    contribGot_.assign(n, 0);
+    contribSent_.assign(n, false);
+
+    // Node at relative rank r expects one contribution per child
+    // r + 2^j for j < lsb-index(r) (all j for the root).
+    for (NodeId id = 0; id < n; ++id) {
+        const std::uint32_t rel = (id + n - root) % n;
+        std::uint32_t want = 0;
+        for (std::uint32_t j = 0; j < rounds(); ++j) {
+            if (rel != 0 && (rel & (1u << j)))
+                break; // j reached the lsb of rel
+            if (rel + (1u << j) < n)
+                ++want;
+        }
+        contribWant_[id] = want;
+    }
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    for (NodeId id = 0; id < n; ++id)
+        reduceTrySend(id); // leaves fire immediately
+    const NodeId rootId = root;
+    res.ok = progress([this, rootId] {
+        return contribGot_[rootId] >= contribWant_[rootId];
+    });
+    out = accum_[root];
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+Collectives::CollResult
+Collectives::gather(const std::vector<Word> &in, std::vector<Word> &out,
+                    NodeId root)
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    if (in.size() != n)
+        msgsim_fatal("gather: need one contribution per node");
+    ++seq_;
+    messages_ = 0;
+    exchange_.assign(n, std::vector<Word>(n, 0));
+    exchangeGot_.assign(n, 0);
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    for (NodeId id = 0; id < n; ++id) {
+        if (id == root)
+            continue;
+        amSend(id, root, Kind::GatherValue, 0, in[id]);
+    }
+    const NodeId rootId = root;
+    const std::uint32_t want = n - 1;
+    res.ok = progress([this, rootId, want] {
+        return exchangeGot_[rootId] >= want;
+    });
+    out = exchange_[root];
+    out[root] = in[root];
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+Collectives::CollResult
+Collectives::allToAll(const std::vector<std::vector<Word>> &in,
+                      std::vector<std::vector<Word>> &out)
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    if (in.size() != n)
+        msgsim_fatal("allToAll: need one row per node");
+    ++seq_;
+    messages_ = 0;
+    exchange_.assign(n, std::vector<Word>(n, 0));
+    exchangeGot_.assign(n, 0);
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    for (NodeId i = 0; i < n; ++i) {
+        if (in[i].size() != n)
+            msgsim_fatal("allToAll: row ", i, " has ", in[i].size(),
+                         " entries, want ", n);
+        for (NodeId j = 0; j < n; ++j) {
+            if (i == j) {
+                exchange_[i][i] = in[i][i];
+                continue;
+            }
+            amSend(i, j, Kind::AllToAllValue, 0, in[i][j]);
+        }
+    }
+    const std::uint32_t want = n - 1;
+    res.ok = progress([this, want] {
+        for (auto got : exchangeGot_)
+            if (got < want)
+                return false;
+        return true;
+    });
+    out = exchange_;
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+Collectives::CollResult
+Collectives::allReduce(ReduceOp op, const std::vector<Word> &in,
+                       std::vector<Word> &out)
+{
+    Word total = 0;
+    CollResult r1 = reduce(op, in, total, 0);
+    CollResult r2 = broadcast(0, total, out);
+    CollResult res;
+    res.ok = r1.ok && r2.ok;
+    res.messages = r1.messages + r2.messages;
+    res.instructions = r1.instructions + r2.instructions;
+    res.elapsed = r1.elapsed + r2.elapsed;
+    return res;
+}
+
+} // namespace msgsim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Collective operations over active messages — the "collection of
+ * computing nodes working in concert" workload of the paper's
+ * introduction, built directly on the CMAM single-packet primitive.
+ *
+ * All algorithms are handler-driven (each arriving active message
+ * decides locally what to forward), so they exercise the messaging
+ * layer exactly the way fine-grain parallel programs do:
+ *
+ *  - barrier()    — dissemination barrier, ceil(log2 N) rounds, one
+ *                   token message per node per round;
+ *  - broadcast()  — binomial tree from the root;
+ *  - reduce()     — binomial combining tree to the root;
+ *  - allReduce()  — reduce to node 0, then broadcast.
+ *
+ * Each operation reports the number of messages, the aggregate
+ * instruction bill across all nodes, and the simulated time.
+ */
+
+#ifndef MSGSIM_COLL_COLLECTIVES_HH
+#define MSGSIM_COLL_COLLECTIVES_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "protocols/stack.hh"
+
+namespace msgsim
+{
+
+/**
+ * Collective-operation engine bound to one stack.
+ */
+class Collectives
+{
+  public:
+    /** Combining operator for reductions. */
+    enum class ReduceOp : std::uint8_t
+    {
+        Sum,
+        Max,
+        Min,
+        BitOr,
+    };
+
+    /** Outcome of one collective operation. */
+    struct CollResult
+    {
+        bool ok = false;
+        std::uint64_t messages = 0;   ///< active messages sent
+        std::uint64_t instructions = 0; ///< aggregate across nodes
+        Tick elapsed = 0;
+    };
+
+    explicit Collectives(Stack &stack);
+
+    Collectives(const Collectives &) = delete;
+    Collectives &operator=(const Collectives &) = delete;
+
+    /** Dissemination barrier across all nodes. */
+    CollResult barrier();
+
+    /**
+     * Broadcast @p value from @p root; on completion @p out[i] holds
+     * the value on node i.
+     */
+    CollResult broadcast(NodeId root, Word value,
+                         std::vector<Word> &out);
+
+    /**
+     * Reduce @p in (one contribution per node) with @p op to
+     * @p root; @p out receives the result.
+     */
+    CollResult reduce(ReduceOp op, const std::vector<Word> &in,
+                      Word &out, NodeId root = 0);
+
+    /** Reduce to node 0 then broadcast: every node gets the result. */
+    CollResult allReduce(ReduceOp op, const std::vector<Word> &in,
+                         std::vector<Word> &out);
+
+    /**
+     * Gather one word per node to @p root: @p out[i] is node i's
+     * contribution.  Flat gather over the combining-tree transport
+     * (each contribution rides its own message, tagged by rank).
+     */
+    CollResult gather(const std::vector<Word> &in,
+                      std::vector<Word> &out, NodeId root = 0);
+
+    /**
+     * All-to-all personalized exchange: @p in[i][j] is the word node
+     * i sends node j; on completion @p out[i][j] holds what node i
+     * received from node j.  N*(N-1) messages — the heaviest
+     * single-packet workload a machine sustains.
+     */
+    CollResult allToAll(const std::vector<std::vector<Word>> &in,
+                        std::vector<std::vector<Word>> &out);
+
+  private:
+    /** Handler-message kinds (packed into the payload). */
+    enum class Kind : Word
+    {
+        BarrierToken = 1,
+        BcastValue = 2,
+        ReduceContrib = 3,
+        GatherValue = 4,
+        AllToAllValue = 5,
+    };
+
+    std::uint32_t nodes() const { return stack_.machine().nodeCount(); }
+    std::uint32_t rounds() const; ///< ceil(log2 N)
+
+    void onMessage(NodeId self, NodeId src,
+                   const std::vector<Word> &args);
+    void amSend(NodeId self, NodeId dst, Kind kind, Word a, Word b);
+
+    void barrierAdvance(NodeId self);
+    void bcastForward(NodeId self, std::uint32_t from_round);
+    void reduceTrySend(NodeId self);
+
+    /** Run the progress loop until @p done (or round budget). */
+    bool progress(const std::function<bool()> &done);
+
+    /** Aggregate instruction total across every node. */
+    std::uint64_t totalInstructions();
+
+    Stack &stack_;
+    std::vector<int> handlerIds_;
+
+    // Per-operation state (one collective at a time; a sequence
+    // number guards against stragglers).
+    Word seq_ = 0;
+    std::uint64_t messages_ = 0;
+
+    // Barrier state.
+    std::vector<std::vector<bool>> gotToken_; ///< [node][round]
+    std::vector<std::uint32_t> waitRound_;
+    std::vector<bool> barrierDone_;
+
+    // Broadcast state.
+    NodeId bcastRoot_ = 0;
+    std::vector<bool> hasValue_;
+    std::vector<Word> bcastValue_;
+
+    // Reduce state.
+    ReduceOp reduceOp_ = ReduceOp::Sum;
+    NodeId reduceRoot_ = 0;
+    std::vector<Word> accum_;
+    std::vector<std::uint32_t> contribWant_;
+    std::vector<std::uint32_t> contribGot_;
+    std::vector<bool> contribSent_;
+
+    // Gather / all-to-all state: [receiver][sender] -> value.
+    std::vector<std::vector<Word>> exchange_;
+    std::vector<std::uint32_t> exchangeGot_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_COLL_COLLECTIVES_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Charging context: where every modeled instruction gets recorded.
+ *
+ * An Accounting object is embedded in each modeled Processor.  It
+ * carries the *current* feature and Table-1 row attribution, which
+ * messaging-layer code sets with RAII scopes, so the primitive
+ * operations themselves stay attribution-agnostic.
+ */
+
+#ifndef MSGSIM_CORE_ACCOUNTING_HH
+#define MSGSIM_CORE_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/counter.hh"
+#include "core/op.hh"
+#include "core/row.hh"
+
+namespace msgsim
+{
+
+/**
+ * Accumulates charged operations under the currently scoped feature
+ * and cost row.
+ */
+class Accounting
+{
+  public:
+    /** Record @p n operations of class @p cls. */
+    void
+    charge(OpClass cls, std::uint64_t n = 1)
+    {
+        counter_.add(feature_, cls, n);
+        rows_[static_cast<int>(row_)] += n;
+    }
+
+    /** Currently scoped feature. */
+    Feature feature() const { return feature_; }
+
+    /** Currently scoped Table-1 row. */
+    CostRow row() const { return row_; }
+
+    /** The accumulated counts. */
+    const InstrCounter &counter() const { return counter_; }
+
+    /** Accumulated count for one Table-1 row. */
+    std::uint64_t
+    rowTotal(CostRow row) const
+    {
+        return rows_[static_cast<int>(row)];
+    }
+
+    /** All Table-1 row totals. */
+    const std::array<std::uint64_t, numCostRows> &
+    rowTotals() const
+    {
+        return rows_;
+    }
+
+    /** Drop all accumulated state (scopes are unaffected). */
+    void
+    clear()
+    {
+        counter_.clear();
+        rows_.fill(0);
+    }
+
+  private:
+    friend class FeatureScope;
+    friend class RowScope;
+
+    InstrCounter counter_;
+    std::array<std::uint64_t, numCostRows> rows_{};
+    Feature feature_ = Feature::BaseCost;
+    CostRow row_ = CostRow::Other;
+};
+
+/**
+ * RAII scope that attributes all charges inside it to one feature.
+ * Nested scopes restore the previous attribution on destruction.
+ */
+class FeatureScope
+{
+  public:
+    FeatureScope(Accounting &acct, Feature feat)
+        : acct_(acct), saved_(acct.feature_)
+    {
+        acct_.feature_ = feat;
+    }
+
+    ~FeatureScope() { acct_.feature_ = saved_; }
+
+    FeatureScope(const FeatureScope &) = delete;
+    FeatureScope &operator=(const FeatureScope &) = delete;
+
+  private:
+    Accounting &acct_;
+    Feature saved_;
+};
+
+/**
+ * RAII scope that attributes all charges inside it to one Table-1 row.
+ */
+class RowScope
+{
+  public:
+    RowScope(Accounting &acct, CostRow row)
+        : acct_(acct), saved_(acct.row_)
+    {
+        acct_.row_ = row;
+    }
+
+    ~RowScope() { acct_.row_ = saved_; }
+
+    RowScope(const RowScope &) = delete;
+    RowScope &operator=(const RowScope &) = delete;
+
+  private:
+    Accounting &acct_;
+    CostRow saved_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_CORE_ACCOUNTING_HH

@@ -1,0 +1,26 @@
+#include "core/cost_model.hh"
+
+namespace msgsim
+{
+
+double
+CostModel::cycles(const InstrCounter &counter) const
+{
+    double sum = 0.0;
+    for (int f = 0; f < numPaperFeatures; ++f)
+        sum += cycles(counter, static_cast<Feature>(f));
+    return sum;
+}
+
+double
+CostModel::cycles(const InstrCounter &counter, Feature feat) const
+{
+    double sum = 0.0;
+    for (int c = 0; c < numCategories; ++c) {
+        auto cat = static_cast<Category>(c);
+        sum += weight(cat) * static_cast<double>(counter.category(feat, cat));
+    }
+    return sum;
+}
+
+} // namespace msgsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Weighted instruction-cost models.
+ *
+ * Appendix A of the paper: "a model for the CM-5 hardware might assume
+ * that reg and mem instructions cost 1 cycle each, while a dev
+ * instruction costs 5 cycles".  A CostModel turns category counts into
+ * modeled cycles; the unit model reproduces the paper's main-body
+ * convention that "all instructions are assumed to have unit cost".
+ */
+
+#ifndef MSGSIM_CORE_COST_MODEL_HH
+#define MSGSIM_CORE_COST_MODEL_HH
+
+#include <string>
+
+#include "core/counter.hh"
+#include "core/op.hh"
+
+namespace msgsim
+{
+
+/**
+ * A linear, category-weighted cost model over instruction counts.
+ */
+struct CostModel
+{
+    /** Human-readable model name, used by reports. */
+    std::string name = "unit";
+
+    double regWeight = 1.0; ///< cycles per register instruction
+    double memWeight = 1.0; ///< cycles per memory load/store
+    double devWeight = 1.0; ///< cycles per device (NI) load/store
+
+    /** The paper's main-body convention: every instruction costs 1. */
+    static CostModel
+    unit()
+    {
+        return {"unit", 1.0, 1.0, 1.0};
+    }
+
+    /** The Appendix A CM-5 example: reg = mem = 1 cycle, dev = 5. */
+    static CostModel
+    cm5()
+    {
+        return {"cm5", 1.0, 1.0, 5.0};
+    }
+
+    /** Weight applied to one coarse category. */
+    double
+    weight(Category cat) const
+    {
+        switch (cat) {
+          case Category::Reg: return regWeight;
+          case Category::Mem: return memWeight;
+          case Category::Dev: return devWeight;
+          default:            return 0.0;
+        }
+    }
+
+    /** Weight applied to one fine operation class. */
+    double
+    weight(OpClass cls) const
+    {
+        return weight(categoryOf(cls));
+    }
+
+    /** Modeled cycles for everything in @p counter (paper features). */
+    double cycles(const InstrCounter &counter) const;
+
+    /** Modeled cycles for one feature of @p counter. */
+    double cycles(const InstrCounter &counter, Feature feat) const;
+
+    /** Modeled cycles for both roles of a breakdown. */
+    double
+    cycles(const BreakdownCounter &bd) const
+    {
+        return cycles(bd.src) + cycles(bd.dst);
+    }
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_CORE_COST_MODEL_HH

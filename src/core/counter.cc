@@ -1,0 +1,93 @@
+#include "core/counter.hh"
+
+namespace msgsim
+{
+
+std::uint64_t
+InstrCounter::category(Feature feat, Category cat) const
+{
+    std::uint64_t sum = 0;
+    for (int c = 0; c < numOpClasses; ++c) {
+        auto cls = static_cast<OpClass>(c);
+        if (categoryOf(cls) == cat)
+            sum += counts[idx(feat)][c];
+    }
+    return sum;
+}
+
+std::uint64_t
+InstrCounter::featureTotal(Feature feat) const
+{
+    std::uint64_t sum = 0;
+    for (auto v : counts[idx(feat)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+InstrCounter::categoryTotal(Category cat) const
+{
+    std::uint64_t sum = 0;
+    for (int f = 0; f < numFeatures; ++f)
+        sum += category(static_cast<Feature>(f), cat);
+    return sum;
+}
+
+std::uint64_t
+InstrCounter::paperTotal() const
+{
+    std::uint64_t sum = 0;
+    for (int f = 0; f < numPaperFeatures; ++f)
+        sum += featureTotal(static_cast<Feature>(f));
+    return sum;
+}
+
+std::uint64_t
+InstrCounter::total() const
+{
+    std::uint64_t sum = 0;
+    for (int f = 0; f < numFeatures; ++f)
+        sum += featureTotal(static_cast<Feature>(f));
+    return sum;
+}
+
+InstrCounter &
+InstrCounter::operator+=(const InstrCounter &other)
+{
+    for (int f = 0; f < numFeatures; ++f)
+        for (int c = 0; c < numOpClasses; ++c)
+            counts[f][c] += other.counts[f][c];
+    return *this;
+}
+
+InstrCounter
+InstrCounter::diff(const InstrCounter &baseline) const
+{
+    InstrCounter out;
+    for (int f = 0; f < numFeatures; ++f)
+        for (int c = 0; c < numOpClasses; ++c)
+            out.counts[f][c] = counts[f][c] - baseline.counts[f][c];
+    return out;
+}
+
+double
+BreakdownCounter::overheadFraction() const
+{
+    const double total = static_cast<double>(paperTotal());
+    if (total == 0.0)
+        return 0.0;
+    const double base = static_cast<double>(
+        src.featureTotal(Feature::BaseCost) +
+        dst.featureTotal(Feature::BaseCost));
+    return (total - base) / total;
+}
+
+BreakdownCounter &
+BreakdownCounter::operator+=(const BreakdownCounter &other)
+{
+    src += other.src;
+    dst += other.dst;
+    return *this;
+}
+
+} // namespace msgsim

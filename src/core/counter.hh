@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Dynamic instruction counters.
+ *
+ * An InstrCounter accumulates dynamic instruction counts along the
+ * (Feature x OpClass) axes for one node role, mirroring the paper's
+ * measurement methodology: "Costs were measured using dynamic
+ * instruction counts of the CMAM assembly code".  A BreakdownCounter
+ * pairs a source-side and destination-side InstrCounter so a whole
+ * protocol run can be reported in the shape of the paper's Tables 2/3.
+ */
+
+#ifndef MSGSIM_CORE_COUNTER_HH
+#define MSGSIM_CORE_COUNTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/op.hh"
+
+namespace msgsim
+{
+
+/**
+ * Per-role dynamic instruction counts, indexed by feature and
+ * fine-grained operation class.
+ */
+class InstrCounter
+{
+  public:
+    InstrCounter() { clear(); }
+
+    /** Reset all counts to zero. */
+    void
+    clear()
+    {
+        for (auto &row : counts)
+            row.fill(0);
+    }
+
+    /** Accumulate @p n operations of class @p cls under @p feat. */
+    void
+    add(Feature feat, OpClass cls, std::uint64_t n = 1)
+    {
+        counts[idx(feat)][idx(cls)] += n;
+    }
+
+    /** Count for one (feature, op-class) cell. */
+    std::uint64_t
+    get(Feature feat, OpClass cls) const
+    {
+        return counts[idx(feat)][idx(cls)];
+    }
+
+    /** Count for one (feature, paper-category) cell. */
+    std::uint64_t category(Feature feat, Category cat) const;
+
+    /** Total instructions attributed to @p feat. */
+    std::uint64_t featureTotal(Feature feat) const;
+
+    /** Total instructions in paper-category @p cat over all features. */
+    std::uint64_t categoryTotal(Category cat) const;
+
+    /**
+     * Total instructions over the paper's four features (excludes
+     * Idle, so the calibration-mode totals line up with the tables).
+     */
+    std::uint64_t paperTotal() const;
+
+    /** Total over every feature including Idle. */
+    std::uint64_t total() const;
+
+    /** Element-wise accumulate another counter into this one. */
+    InstrCounter &operator+=(const InstrCounter &other);
+
+    /** Element-wise sum. */
+    friend InstrCounter
+    operator+(InstrCounter a, const InstrCounter &b)
+    {
+        a += b;
+        return a;
+    }
+
+    /** Element-wise difference (saturating at zero is NOT applied). */
+    InstrCounter diff(const InstrCounter &baseline) const;
+
+    /** Exact equality of every cell. */
+    bool operator==(const InstrCounter &other) const = default;
+
+  private:
+    static constexpr int
+    idx(Feature f)
+    {
+        return static_cast<int>(f);
+    }
+
+    static constexpr int
+    idx(OpClass c)
+    {
+        return static_cast<int>(c);
+    }
+
+    std::array<std::array<std::uint64_t, numOpClasses>, numFeatures> counts;
+};
+
+/**
+ * Source + destination counters for one protocol run, i.e. one row
+ * group of the paper's Table 2 (and, via categories, Table 3).
+ */
+struct BreakdownCounter
+{
+    InstrCounter src;
+    InstrCounter dst;
+
+    /** Paper-total (source + destination, four features). */
+    std::uint64_t
+    paperTotal() const
+    {
+        return src.paperTotal() + dst.paperTotal();
+    }
+
+    /** Per-feature total across both roles. */
+    std::uint64_t
+    featureTotal(Feature feat) const
+    {
+        return src.featureTotal(feat) + dst.featureTotal(feat);
+    }
+
+    /**
+     * Fraction of the paper-total spent on features other than the
+     * base cost: the paper's "messaging overhead".
+     */
+    double overheadFraction() const;
+
+    BreakdownCounter &operator+=(const BreakdownCounter &other);
+
+    void
+    clear()
+    {
+        src.clear();
+        dst.clear();
+    }
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_CORE_COUNTER_HH

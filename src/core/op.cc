@@ -1,0 +1,53 @@
+#include "core/op.hh"
+
+namespace msgsim
+{
+
+const char *
+toString(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Reg:      return "reg";
+      case OpClass::MemLoad:  return "mem.load";
+      case OpClass::MemStore: return "mem.store";
+      case OpClass::DevLoad:  return "dev.load";
+      case OpClass::DevStore: return "dev.store";
+      default:                return "?";
+    }
+}
+
+const char *
+toString(Category cat)
+{
+    switch (cat) {
+      case Category::Reg: return "reg";
+      case Category::Mem: return "mem";
+      case Category::Dev: return "dev";
+      default:            return "?";
+    }
+}
+
+const char *
+toString(Feature feat)
+{
+    switch (feat) {
+      case Feature::BaseCost:        return "Base Cost";
+      case Feature::BufferMgmt:      return "Buffer Mgmt.";
+      case Feature::InOrderDelivery: return "In-order Del.";
+      case Feature::FaultTolerance:  return "Fault-toler.";
+      case Feature::Idle:            return "Idle";
+      default:                       return "?";
+    }
+}
+
+const char *
+toString(Direction dir)
+{
+    switch (dir) {
+      case Direction::Source:      return "Source";
+      case Direction::Destination: return "Destination";
+      default:                     return "?";
+    }
+}
+
+} // namespace msgsim

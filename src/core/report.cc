@@ -1,0 +1,191 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace msgsim
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        std::string s = "+";
+        for (auto w : widths)
+            s += std::string(w + 2, '-') + "+";
+        s += "\n";
+        return s;
+    };
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string &v = cells[c];
+            std::string pad(widths[c] - v.size(), ' ');
+            // Left-align the label column, right-align values.
+            if (c == 0)
+                s += " " + v + pad + " |";
+            else
+                s += " " + pad + v + " |";
+        }
+        s += "\n";
+        return s;
+    };
+
+    std::string out = rule() + line(headers_) + rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += rule();
+        else
+            out += line(row);
+    }
+    out += rule();
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                out << ",";
+            out << cells[c];
+        }
+        out << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        if (!row.empty())
+            emit(row);
+    return out.str();
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    return v == 0 ? std::string("-") : std::to_string(v);
+}
+
+std::string
+featureTable(const std::string &title, const BreakdownCounter &bd)
+{
+    TextTable t({"Feature", "Source", "Destination", "Total"});
+    for (int f = 0; f < numPaperFeatures; ++f) {
+        auto feat = static_cast<Feature>(f);
+        const auto s = bd.src.featureTotal(feat);
+        const auto d = bd.dst.featureTotal(feat);
+        t.addRow({toString(feat), fmtCount(s), fmtCount(d),
+                  fmtCount(s + d)});
+    }
+    t.addSeparator();
+    t.addRow({"Total", std::to_string(bd.src.paperTotal()),
+              std::to_string(bd.dst.paperTotal()),
+              std::to_string(bd.paperTotal())});
+    return title + "\n" + t.render();
+}
+
+std::string
+categoryTable(const std::string &title, const BreakdownCounter &bd)
+{
+    TextTable t({"Feature", "src reg", "src mem", "src dev", "dst reg",
+                 "dst mem", "dst dev"});
+    for (int f = 0; f < numPaperFeatures; ++f) {
+        auto feat = static_cast<Feature>(f);
+        t.addRow({toString(feat),
+                  fmtCount(bd.src.category(feat, Category::Reg)),
+                  fmtCount(bd.src.category(feat, Category::Mem)),
+                  fmtCount(bd.src.category(feat, Category::Dev)),
+                  fmtCount(bd.dst.category(feat, Category::Reg)),
+                  fmtCount(bd.dst.category(feat, Category::Mem)),
+                  fmtCount(bd.dst.category(feat, Category::Dev))});
+    }
+    auto catTotal = [](const InstrCounter &c, Category cat) {
+        std::uint64_t sum = 0;
+        for (int f = 0; f < numPaperFeatures; ++f)
+            sum += c.category(static_cast<Feature>(f), cat);
+        return sum;
+    };
+    t.addSeparator();
+    t.addRow({"Total",
+              fmtCount(catTotal(bd.src, Category::Reg)),
+              fmtCount(catTotal(bd.src, Category::Mem)),
+              fmtCount(catTotal(bd.src, Category::Dev)),
+              fmtCount(catTotal(bd.dst, Category::Reg)),
+              fmtCount(catTotal(bd.dst, Category::Mem)),
+              fmtCount(catTotal(bd.dst, Category::Dev))});
+    return title + "\n" + t.render();
+}
+
+std::string
+rowTable(const std::string &title, const Accounting &src,
+         const Accounting &dst)
+{
+    TextTable t({"Description", "Source", "Destination"});
+    std::uint64_t stotal = 0, dtotal = 0;
+    for (int r = 0; r < numCostRows; ++r) {
+        auto row = static_cast<CostRow>(r);
+        const auto s = src.rowTotal(row);
+        const auto d = dst.rowTotal(row);
+        if (row == CostRow::Other && s == 0 && d == 0)
+            continue;
+        t.addRow({toString(row), fmtCount(s), fmtCount(d)});
+        stotal += s;
+        dtotal += d;
+    }
+    t.addSeparator();
+    t.addRow({"Total", std::to_string(stotal), std::to_string(dtotal)});
+    return title + "\n" + t.render();
+}
+
+std::string
+cycleTable(const std::string &title, const BreakdownCounter &bd,
+           const CostModel &model)
+{
+    auto fmt = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return std::string(buf);
+    };
+    TextTable t({"Feature", "Source", "Destination", "Total"});
+    for (int f = 0; f < numPaperFeatures; ++f) {
+        auto feat = static_cast<Feature>(f);
+        const double s = model.cycles(bd.src, feat);
+        const double d = model.cycles(bd.dst, feat);
+        t.addRow({toString(feat), fmt(s), fmt(d), fmt(s + d)});
+    }
+    t.addSeparator();
+    t.addRow({"Total", fmt(model.cycles(bd.src)), fmt(model.cycles(bd.dst)),
+              fmt(model.cycles(bd))});
+    return title + " [cost model: " + model.name + "]\n" + t.render();
+}
+
+} // namespace msgsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Text-table rendering of instruction-count breakdowns.
+ *
+ * The benches regenerate the paper's tables with these helpers:
+ * featureTable() has the shape of Table 2, categoryTable() the shape
+ * of Table 3 (Appendix A), and TextTable is the generic fixed-width
+ * renderer underneath.  CSV output is provided for post-processing.
+ */
+
+#ifndef MSGSIM_CORE_REPORT_HH
+#define MSGSIM_CORE_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/accounting.hh"
+#include "core/cost_model.hh"
+#include "core/counter.hh"
+
+namespace msgsim
+{
+
+/**
+ * A simple fixed-width text table: first column left-aligned labels,
+ * remaining columns right-aligned values.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render with padding and rules. */
+    std::string render() const;
+
+    /** Render as CSV (separators are skipped). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row = separator
+};
+
+/** Format a count, rendering zero as "-" like the paper's tables. */
+std::string fmtCount(std::uint64_t v);
+
+/**
+ * Render a Table-2-shaped feature breakdown:
+ * rows = the four paper features + Total, columns = Source /
+ * Destination / Total.
+ */
+std::string featureTable(const std::string &title,
+                         const BreakdownCounter &bd);
+
+/**
+ * Render a Table-3-shaped category breakdown:
+ * rows = features + Total, columns = reg/mem/dev for each role.
+ */
+std::string categoryTable(const std::string &title,
+                          const BreakdownCounter &bd);
+
+/**
+ * Render a Table-1-shaped row breakdown from source and destination
+ * accounting contexts.
+ */
+std::string rowTable(const std::string &title, const Accounting &src,
+                     const Accounting &dst);
+
+/**
+ * Render a feature breakdown weighted by a cost model (modeled
+ * cycles instead of raw instruction counts).
+ */
+std::string cycleTable(const std::string &title,
+                       const BreakdownCounter &bd, const CostModel &model);
+
+} // namespace msgsim
+
+#endif // MSGSIM_CORE_REPORT_HH

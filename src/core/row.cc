@@ -1,0 +1,21 @@
+#include "core/row.hh"
+
+namespace msgsim
+{
+
+const char *
+toString(CostRow row)
+{
+    switch (row) {
+      case CostRow::CallReturn:  return "Call/Return";
+      case CostRow::NiSetup:     return "NI setup";
+      case CostRow::WriteNi:     return "Write to NI";
+      case CostRow::ReadNi:      return "Read from NI";
+      case CostRow::CheckStatus: return "Check NI status";
+      case CostRow::ControlFlow: return "Control flow";
+      case CostRow::Other:       return "Other";
+      default:                   return "?";
+    }
+}
+
+} // namespace msgsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fine-grained cost rows for single-packet delivery (paper Table 1).
+ *
+ * Table 1 breaks the single-packet send/receive paths into functional
+ * rows (Call/Return, NI setup, ...).  We attribute each charged
+ * operation to one of these rows, in parallel with the feature axis,
+ * so the table can be regenerated from execution.
+ */
+
+#ifndef MSGSIM_CORE_ROW_HH
+#define MSGSIM_CORE_ROW_HH
+
+#include <cstdint>
+
+namespace msgsim
+{
+
+/** Row labels of the paper's Table 1. */
+enum class CostRow : std::uint8_t
+{
+    CallReturn,   ///< procedure call, register-window save, return
+    NiSetup,      ///< computing NI addresses / tags before injection
+    WriteNi,      ///< stores of user data into the NI send FIFO
+    ReadNi,       ///< loads of packet data from the NI receive FIFO
+    CheckStatus,  ///< polling / testing NI status registers
+    ControlFlow,  ///< loop and dispatch branches
+    Other,        ///< everything outside the single-packet fast path
+    NumRows
+};
+
+/** Number of cost rows. */
+constexpr int numCostRows = static_cast<int>(CostRow::NumRows);
+
+/** Printable name of a cost row (matches Table 1 labels). */
+const char *toString(CostRow row);
+
+} // namespace msgsim
+
+#endif // MSGSIM_CORE_ROW_HH

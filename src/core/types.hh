@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the msgsim library.
+ *
+ * The modeled machine is a CM-5-like multicomputer: 32-bit words, a
+ * word-addressed per-node memory, and a discrete simulation clock
+ * measured in "ticks" (one tick is one modeled processor cycle at
+ * unit instruction cost; weighted cost models rescale on top).
+ */
+
+#ifndef MSGSIM_CORE_TYPES_HH
+#define MSGSIM_CORE_TYPES_HH
+
+#include <cstdint>
+
+namespace msgsim
+{
+
+/** A 32-bit machine word, the unit of all modeled data movement. */
+using Word = std::uint32_t;
+
+/** Identifier of a compute node in the machine (dense, 0-based). */
+using NodeId = std::uint32_t;
+
+/** Word-granularity address into a node-local memory. */
+using Addr = std::uint32_t;
+
+/** Simulation time, in ticks. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = ~NodeId(0);
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = ~Addr(0);
+
+} // namespace msgsim
+
+#endif // MSGSIM_CORE_TYPES_HH

@@ -1,0 +1,267 @@
+#include "hlam/hl_layer.hh"
+
+#include "cmam/send_path.hh"
+#include "core/row.hh"
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+HlLayer::HlLayer(Node &node, const Config &cfg) : node_(node), cfg_(cfg)
+{
+    // Boot-time setup (uncharged): NI base pointer word and the
+    // transfer-record table.
+    niBaseAddr_ = node_.mem().alloc(1);
+    node_.mem().write(niBaseAddr_, 0x001ba5e0u);
+    tableBase_ = node_.mem().alloc(
+        static_cast<std::size_t>(cfg_.maxTransfers) * 4);
+}
+
+void
+HlLayer::postTransfer(Word tid, Addr buf, CompletionFn done)
+{
+    if (tid > hdr::maxFieldA)
+        msgsim_fatal("transfer id ", tid, " exceeds the header field");
+    if (transfers_.count(tid))
+        msgsim_fatal("transfer ", tid, " already posted");
+    Transfer t;
+    t.buf = buf;
+    t.done = std::move(done);
+    transfers_[tid] = std::move(t);
+}
+
+void
+HlLayer::xferSend(NodeId dst, Word tid, Addr srcBuf, std::uint32_t words)
+{
+    Processor &p = node_.proc();
+    Accounting &a = p.acct();
+    NetIface &ni = node_.ni();
+    const int n = dataWords();
+
+    if (words == 0 || words % static_cast<std::uint32_t>(n) != 0)
+        msgsim_fatal("hl xfer of ", words,
+                     " words: not a multiple of packet size ", n);
+    if (words > hdr::maxFieldB)
+        msgsim_fatal("hl xfer size exceeds header field");
+    if (tid > hdr::maxFieldA)
+        msgsim_fatal("transfer id ", tid, " exceeds the header field");
+
+    // Fixed entry (2 reg + 1 mem), as in the CMAM xfer loop.
+    p.regOps(2);
+    (void)p.loadWord(niBaseAddr_);
+
+    std::uint32_t offset = 0;
+    bool first = true;
+    while (offset < words) {
+        // The first packet is the header packet: its header word
+        // carries the transfer size so the destination can size and
+        // bind a buffer.  NO in-order charges anywhere: transmission
+        // order is delivery order.
+        const Word header = hdr::pack(tid, first ? words : 0);
+        first = false;
+
+        for (int attempt = 0;; ++attempt) {
+            if (attempt > 1000)
+                msgsim_panic("hl xfer send retry livelock");
+            {
+                RowScope r(a, CostRow::NiSetup);
+                p.regOps(4);
+                ni.writeSendCtl(a, dst, HwTag::XferData, header);
+            }
+            {
+                RowScope r(a, CostRow::CheckStatus);
+                (void)ni.readStatus(a);
+                p.regOps(2);
+            }
+            for (int i = 0; i < n; i += 2) {
+                const auto [w0, w1] = p.loadDouble(
+                    srcBuf + offset + static_cast<Addr>(i));
+                RowScope r(a, CostRow::WriteNi);
+                ni.writeSendDouble(a, w0, w1);
+            }
+            Word status;
+            {
+                RowScope r(a, CostRow::CheckStatus);
+                status = ni.readStatus(a);
+                p.regOps(3);
+            }
+            {
+                RowScope r(a, CostRow::ControlFlow);
+                p.branches(3);
+            }
+            if (status & ni_status::sendOk)
+                break;
+        }
+        p.regOps(3); // loop induction
+        offset += static_cast<std::uint32_t>(n);
+    }
+}
+
+void
+HlLayer::streamSend(NodeId dst, Word chan, const std::vector<Word> &data)
+{
+    singlePacketSend(node_, niBaseAddr_, HwTag::StreamData, dst,
+                     hdr::pack(chan, 0), data, dataWords());
+}
+
+int
+HlLayer::poll()
+{
+    Processor &p = node_.proc();
+    Accounting &a = p.acct();
+    NetIface &ni = node_.ni();
+
+    {
+        RowScope r(a, CostRow::CallReturn);
+        p.callRet(3);
+    }
+    int handled = 0;
+    bool first = true;
+    for (;;) {
+        Word status;
+        {
+            RowScope r(a, CostRow::CheckStatus);
+            status = ni.readStatus(a);
+            p.regOps(first ? 9 : 1);
+            first = false;
+        }
+        if (!(status & ni_status::recvReady))
+            break;
+        const Packet *head = ni.hwPeekRecv();
+        if (head == nullptr)
+            msgsim_panic("recvReady set with empty FIFO");
+        const auto tag = static_cast<HwTag>(
+            (status >> ni_status::tagShift) & ni_status::tagMask);
+        switch (tag) {
+          case HwTag::XferData:
+            handleXferData();
+            break;
+          case HwTag::StreamData:
+            handleStreamData(head->src);
+            break;
+          default:
+            msgsim_panic("hl layer: unexpected tag ",
+                         static_cast<int>(tag));
+        }
+        ++handled;
+        {
+            RowScope r(a, CostRow::ControlFlow);
+            p.branches(2);
+        }
+    }
+    return handled;
+}
+
+void
+HlLayer::handleXferData()
+{
+    Processor &p = node_.proc();
+    Accounting &a = p.acct();
+    NetIface &ni = node_.ni();
+    const int n = dataWords();
+
+    Word header;
+    {
+        RowScope r(a, CostRow::ReadNi);
+        header = ni.readRecvHeader(a);
+    }
+    p.regOps(3); // tag-vector dispatch
+    const Word tid = hdr::fieldA(header);
+    auto it = transfers_.find(tid);
+    if (it == transfers_.end())
+        msgsim_panic("hl xfer data for unposted transfer ", tid);
+    Transfer &t = it->second;
+
+    if (!t.started) {
+        // Header packet: bind the posted buffer.  This is the entire
+        // buffer-management cost of the protocol (9 reg + 4 mem):
+        // store the buffer pointer and expected count into a table
+        // record associated with the incoming message.
+        FeatureScope bm(a, Feature::BufferMgmt);
+        const std::uint32_t total_words = hdr::fieldB(header);
+        if (total_words == 0 ||
+            total_words % static_cast<std::uint32_t>(n) != 0)
+            msgsim_panic("hl header packet with bad size ",
+                         total_words);
+        p.regOps(5); // record index, size arithmetic
+        t.rec = tableBase_ +
+                static_cast<Addr>(nextRec_ % cfg_.maxTransfers) * 4;
+        nextRec_++;
+        p.storeWord(t.rec + 0, t.buf);                        // mem 1
+        p.storeWord(t.rec + 1, total_words /
+                                   static_cast<Word>(n));     // mem 2
+        p.storeWord(t.rec + 2, 1);                            // mem 3
+        p.storeWord(t.rec + 3, tid);                          // mem 4
+        p.regOps(4); // flag packing, branch
+        t.started = true;
+        t.writePtr = t.buf;
+        t.remainingPackets = total_words / static_cast<Word>(n);
+        ++active_;
+    }
+
+    // Data placement with a running write pointer: in-order delivery
+    // is hardware's problem, so no offsets, no sequence numbers.
+    p.regOps(1); // effective address (pointer already in a register)
+    for (int i = 0; i < n; i += 2) {
+        std::pair<Word, Word> words;
+        {
+            RowScope r(a, CostRow::ReadNi);
+            words = ni.readRecvDouble(a);
+        }
+        p.storeDouble(t.writePtr + static_cast<Addr>(i), words.first,
+                      words.second);
+    }
+    p.regOps(2); // write-pointer advance, read-loop induction
+    t.writePtr += static_cast<Addr>(n);
+    p.regOps(2); // remaining decrement + last-packet branch
+    --t.remainingPackets;
+
+    if (t.remainingPackets == 0) {
+        // Specialized last-packet handler (2 reg + 3 mem): reload the
+        // record and run the completion continuation.
+        p.regOps(2);
+        (void)p.loadWord(t.rec + 0);
+        (void)p.loadWord(t.rec + 1);
+        (void)p.loadWord(t.rec + 3);
+        --active_;
+        auto done = std::move(t.done);
+        const Word id = tid;
+        transfers_.erase(it);
+        if (done)
+            done(id);
+    }
+}
+
+void
+HlLayer::handleStreamData(NodeId src)
+{
+    Processor &p = node_.proc();
+    Accounting &a = p.acct();
+    NetIface &ni = node_.ni();
+    const int n = dataWords();
+
+    Word header;
+    {
+        RowScope r(a, CostRow::ReadNi);
+        header = ni.readRecvHeader(a);
+    }
+    std::vector<Word> data(static_cast<std::size_t>(n));
+    {
+        RowScope r(a, CostRow::ReadNi);
+        for (int i = 0; i < n; i += 2) {
+            const auto [w0, w1] = ni.readRecvDouble(a);
+            data[static_cast<std::size_t>(i)] = w0;
+            data[static_cast<std::size_t>(i + 1)] = w1;
+        }
+    }
+    p.regOps(3); // dispatch
+    {
+        RowScope r(a, CostRow::CallReturn);
+        p.callRet(4); // user handler linkage
+    }
+    if (!streamCb_)
+        msgsim_panic("hl stream data with no callback installed");
+    streamCb_(hdr::fieldA(header), src, data);
+}
+
+} // namespace msgsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Stack builder for the high-level-features messaging layer: a CR
+ * substrate machine with one HlLayer per node, plus calibration-mode
+ * drivers for the finite and indefinite protocols of paper Section 4.
+ */
+
+#ifndef MSGSIM_HLAM_HL_STACK_HH
+#define MSGSIM_HLAM_HL_STACK_HH
+
+#include <memory>
+#include <vector>
+
+#include "crnet/cr_network.hh"
+#include "hlam/hl_layer.hh"
+#include "machine/machine.hh"
+#include "protocols/result.hh"
+
+namespace msgsim
+{
+
+/** Configuration of the high-level stack. */
+struct HlStackConfig
+{
+    std::uint32_t nodes = 4;
+    int dataWords = 4;
+    std::size_t memWords = 1u << 20;
+    std::size_t recvCapacity = static_cast<std::size_t>(-1);
+    int maxTransfers = 64;
+    FaultInjector::Config faults; ///< corrected in hardware by CR
+    bool rejectWhenFull = false;  ///< install the CR acceptance check
+    Tick injectGap = 0;           ///< link bandwidth: source spacing
+    Tick deliverGap = 0;          ///< link bandwidth: dest spacing
+};
+
+/**
+ * CR machine + per-node HlLayer.
+ */
+class HlStack
+{
+  public:
+    explicit HlStack(const HlStackConfig &cfg);
+
+    Machine &machine() { return *machine_; }
+    Simulator &sim() { return machine_->sim(); }
+    int dataWords() const { return cfg_.dataWords; }
+    Node &node(NodeId id) { return machine_->node(id); }
+    HlLayer &hl(NodeId id);
+    void settle() { machine_->settle(); }
+
+  private:
+    HlStackConfig cfg_;
+    std::unique_ptr<Machine> machine_;
+    std::vector<std::unique_ptr<HlLayer>> layers_;
+};
+
+/** Parameters of a high-level finite-sequence run. */
+struct HlXferParams
+{
+    NodeId src = 0;
+    NodeId dst = 1;
+    std::uint32_t words = 16;
+    std::uint64_t fillSeed = 0x11d0'beefULL;
+    bool eventMode = false;
+};
+
+/** Run a finite-sequence transfer on the high-level stack. */
+RunResult runHlFinite(HlStack &stack, const HlXferParams &params);
+
+/** Parameters of a high-level indefinite-sequence run. */
+struct HlStreamParams
+{
+    NodeId src = 0;
+    NodeId dst = 1;
+    std::uint32_t words = 16;
+    std::uint64_t fillSeed = 0x57'12ea'3ULL;
+    bool eventMode = false;
+};
+
+/** Run an indefinite-sequence stream on the high-level stack. */
+RunResult runHlStream(HlStack &stack, const HlStreamParams &params);
+
+} // namespace msgsim
+
+#endif // MSGSIM_HLAM_HL_STACK_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Node-local memory.
+ *
+ * A flat, word-addressed store with bounds checking and a bump
+ * allocator for carving out message buffers, segments, and protocol
+ * state.  Accesses are *not* charged here — charging is the
+ * Processor's job — so hardware agents (e.g. a DMA model) could touch
+ * memory without perturbing instruction counts.
+ */
+
+#ifndef MSGSIM_MACHINE_MEMORY_HH
+#define MSGSIM_MACHINE_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hh"
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+/**
+ * Flat word-addressed node memory with a bump allocator.
+ */
+class Memory
+{
+  public:
+    /** @param words capacity in 32-bit words. */
+    explicit Memory(std::size_t words = 1u << 20) : words_(words, 0) {}
+
+    /** Capacity in words. */
+    std::size_t size() const { return words_.size(); }
+
+    /** Read one word. */
+    Word
+    read(Addr addr) const
+    {
+        check(addr);
+        return words_[addr];
+    }
+
+    /** Write one word. */
+    void
+    write(Addr addr, Word value)
+    {
+        check(addr);
+        words_[addr] = value;
+    }
+
+    /**
+     * Allocate @p words contiguous words; returns the base address.
+     * This models static buffer carving, not the protocol-level
+     * segment allocation the paper accounts for.
+     */
+    Addr
+    alloc(std::size_t words)
+    {
+        if (brk_ + words > words_.size())
+            msgsim_fatal("node memory exhausted: want ", words,
+                         " words at brk ", brk_, " of ", words_.size());
+        const Addr base = static_cast<Addr>(brk_);
+        brk_ += words;
+        return base;
+    }
+
+    /** Words currently allocated. */
+    std::size_t allocated() const { return brk_; }
+
+  private:
+    void
+    check(Addr addr) const
+    {
+        if (addr >= words_.size())
+            msgsim_panic("memory access out of bounds: ", addr, " >= ",
+                         words_.size());
+    }
+
+    std::vector<Word> words_;
+    std::size_t brk_ = 0;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_MACHINE_MEMORY_HH

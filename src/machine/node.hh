@@ -1,0 +1,50 @@
+/**
+ * @file
+ * One compute node: processor + memory + network interface.
+ */
+
+#ifndef MSGSIM_MACHINE_NODE_HH
+#define MSGSIM_MACHINE_NODE_HH
+
+#include <memory>
+
+#include "core/types.hh"
+#include "machine/memory.hh"
+#include "machine/processor.hh"
+#include "ni/net_iface.hh"
+
+namespace msgsim
+{
+
+/**
+ * A single node of the modeled multicomputer.
+ */
+class Node
+{
+  public:
+    Node(NodeId id, Network &net, std::size_t memWords,
+         const NetIface::Config &niCfg)
+        : id_(id), mem_(memWords), proc_(mem_), ni_(id, net, niCfg)
+    {
+        ni_.attachMemory(&mem_); // DMA bus mastering
+    }
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    NodeId id() const { return id_; }
+    Memory &mem() { return mem_; }
+    Processor &proc() { return proc_; }
+    NetIface &ni() { return ni_; }
+    Accounting &acct() { return proc_.acct(); }
+
+  private:
+    NodeId id_;
+    Memory mem_;
+    Processor proc_;
+    NetIface ni_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_MACHINE_NODE_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Closed-form cost model of every protocol/substrate combination —
+ * the generalized breakdown of paper Figure 8 (left), parameterized
+ * by hardware packet size n (words) and message size (hence
+ * p = packets per message), plus the stream protocol's out-of-order
+ * fraction f and ack group size G.
+ *
+ * The formulas are exactly the instruction sequences the simulator
+ * executes (DESIGN.md section 2.1); the property tests in
+ * tests/test_model_vs_sim.cc assert cell-for-cell agreement between
+ * this model and measured simulator counts across parameter sweeps.
+ * At n = 4 the model reproduces the paper's Tables 1-3.
+ */
+
+#ifndef MSGSIM_MODEL_ANALYTIC_HH
+#define MSGSIM_MODEL_ANALYTIC_HH
+
+#include <cstdint>
+
+#include "core/cost_model.hh"
+#include "core/op.hh"
+
+namespace msgsim
+{
+
+/** Parameters of a modeled protocol run. */
+struct ProtoParams
+{
+    int n = 4;                  ///< data words per packet (even)
+    std::uint32_t words = 16;   ///< message volume (multiple of n)
+    double oooFraction = 0.5;   ///< stream: fraction arriving OOO
+    int groupAck = 1;           ///< stream: ack every G packets
+    bool dma = false;           ///< finite: DMA bulk-data movement
+
+    /** Packets per message. */
+    std::uint32_t
+    packets() const
+    {
+        return words / static_cast<std::uint32_t>(n);
+    }
+};
+
+/** Cost in the paper's three instruction categories. */
+struct CatCost
+{
+    double reg = 0;
+    double mem = 0;
+    double dev = 0;
+
+    double total() const { return reg + mem + dev; }
+
+    double
+    weighted(const CostModel &m) const
+    {
+        return reg * m.regWeight + mem * m.memWeight + dev * m.devWeight;
+    }
+
+    CatCost &
+    operator+=(const CatCost &o)
+    {
+        reg += o.reg;
+        mem += o.mem;
+        dev += o.dev;
+        return *this;
+    }
+
+    friend CatCost
+    operator+(CatCost a, const CatCost &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend CatCost
+    operator*(double k, const CatCost &c)
+    {
+        return {k * c.reg, k * c.mem, k * c.dev};
+    }
+};
+
+/**
+ * Per-feature, per-role cost breakdown of one protocol run.
+ */
+struct FeatureBreakdown
+{
+    /// [feature][role]: role 0 = source, 1 = destination.
+    CatCost cost[numPaperFeatures][numDirections];
+
+    CatCost &
+    at(Feature f, Direction d)
+    {
+        return cost[static_cast<int>(f)][static_cast<int>(d)];
+    }
+
+    const CatCost &
+    at(Feature f, Direction d) const
+    {
+        return cost[static_cast<int>(f)][static_cast<int>(d)];
+    }
+
+    /** Total instructions executed by one role. */
+    double roleTotal(Direction d) const;
+
+    /** Total instructions attributed to one feature (both roles). */
+    double featureTotal(Feature f) const;
+
+    /** Grand total. */
+    double grandTotal() const;
+
+    /** Fraction of the total NOT in BaseCost: the paper's overhead. */
+    double overheadFraction() const;
+
+    /** Cycle-weighted grand total under a cost model. */
+    double weightedTotal(const CostModel &m) const;
+
+    FeatureBreakdown &operator+=(const FeatureBreakdown &o);
+};
+
+// ------------------------------------------------------------------
+// Building blocks (per DESIGN.md 2.1); h = n/2 throughout.  Active
+// messages and protocol control packets always use the 4-word CMAM_4
+// format (the CM-5 send-first store encodes packet length), so their
+// costs are constant in the hardware packet size; bulk-data packets
+// scale with n.
+// ------------------------------------------------------------------
+
+/** One 4-word-format single-packet send: 14 reg + 1 mem + 5 dev. */
+CatCost sendCost();
+
+/** One full-packet bulk send: 14 reg + 1 mem + (h+3) dev. */
+CatCost sendBulkCost(int n);
+
+/** Poll entry: 12 reg + 1 dev. */
+CatCost pollFixedCost();
+
+/** Per-packet 4-word-format generic receive: 10 reg + 4 dev. */
+CatCost recvPacketCost();
+
+/** Per-packet full-size bulk receive: 10 reg + (h+2) dev. */
+CatCost recvBulkPacketCost(int n);
+
+/** Poll entry plus one 4-word packet: 22 reg + 5 dev. */
+CatCost recvSingleCost();
+
+// ------------------------------------------------------------------
+// Protocol models.
+// ------------------------------------------------------------------
+
+/** Table 1: single-packet delivery (both substrates). */
+FeatureBreakdown singlePacketModel(int n = 4);
+
+/** Table 2 top: CMAM finite-sequence, multi-packet delivery. */
+FeatureBreakdown cmamFiniteModel(const ProtoParams &p);
+
+/** Table 2 bottom: CMAM indefinite-sequence, multi-packet delivery. */
+FeatureBreakdown cmamStreamModel(const ProtoParams &p);
+
+/** Section 4: finite-sequence atop high-level network features. */
+FeatureBreakdown hlFiniteModel(const ProtoParams &p);
+
+/** Section 4: indefinite-sequence atop high-level features. */
+FeatureBreakdown hlStreamModel(const ProtoParams &p);
+
+/**
+ * The §4.1/Figure 6 comparison: fractional improvement of the
+ * high-level implementation over the CMAM implementation.
+ */
+double hlImprovement(const FeatureBreakdown &cmam,
+                     const FeatureBreakdown &hl);
+
+} // namespace msgsim
+
+#endif // MSGSIM_MODEL_ANALYTIC_HH

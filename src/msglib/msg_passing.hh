@@ -1,0 +1,171 @@
+/**
+ * @file
+ * A CMMD/MPI-style user-level message-passing library built on the
+ * CMAM stack — the kind of consumer the paper's §2.1 "communication
+ * services" list is written for (it cites CMMD, PVM, and MPI).
+ *
+ * Semantics: tag-matched, rendezvous point-to-point messages.
+ *
+ *  - The receiver posts a buffer with (source, tag) selectors
+ *    (wildcards allowed).
+ *  - The sender issues a send request carrying (tag, size).  If a
+ *    matching receive is posted, the receiver allocates a
+ *    communication segment over the posted buffer and replies;
+ *    otherwise the request parks in the unexpected-message queue
+ *    until a matching receive arrives (the classic rendezvous
+ *    dance).
+ *  - Data moves with the finite-sequence machinery (offset-stamped
+ *    packets into the segment), completion frees the segment and
+ *    acknowledges the sender.
+ *
+ * Matching between a (src, tag) pair is FIFO: messages from one
+ * sender with one tag are received in the order they were sent.
+ *
+ * Cost attribution: the matching machinery is charged to
+ * BufferMgmt (it exists to bind buffers), the data packets to
+ * BaseCost/InOrderDelivery as usual, and the final ack to
+ * FaultTolerance.
+ */
+
+#ifndef MSGSIM_MSGLIB_MSG_PASSING_HH
+#define MSGSIM_MSGLIB_MSG_PASSING_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "protocols/stack.hh"
+
+namespace msgsim
+{
+
+/** Wildcard for postRecv's source selector. */
+constexpr NodeId anySource = invalidNode;
+
+/** Wildcard tag. */
+constexpr Word anyTag = 0x00ffffffu;
+
+/**
+ * The per-stack message-passing engine.
+ */
+class MsgPassing
+{
+  public:
+    /** Handle naming one posted receive. */
+    using RecvHandle = std::uint32_t;
+
+    /** Handle naming one outstanding send. */
+    using SendHandle = std::uint32_t;
+
+    explicit MsgPassing(Stack &stack);
+
+    MsgPassing(const MsgPassing &) = delete;
+    MsgPassing &operator=(const MsgPassing &) = delete;
+
+    /**
+     * Post a receive on node @p self: up to @p maxWords words into
+     * @p buf, matching sender @p from (or anySource) and tag @p tag
+     * (or anyTag).  Returns a handle to query with recvDone().
+     * Charges the posting cost (queue insert) to BufferMgmt.
+     */
+    RecvHandle postRecv(NodeId self, Addr buf, std::uint32_t maxWords,
+                        Word tag, NodeId from = anySource);
+
+    /**
+     * Start a send from node @p self: @p words words at @p buf to
+     * @p dst with tag @p tag.  Returns a handle to query with
+     * sendDone().  The data flows once the receiver has a matching
+     * posted buffer.
+     */
+    SendHandle send(NodeId self, NodeId dst, Addr buf,
+                    std::uint32_t words, Word tag);
+
+    /** True once the receive completed. */
+    bool recvDone(RecvHandle h) const;
+
+    /** Words actually received (valid once recvDone()). */
+    std::uint32_t recvWords(RecvHandle h) const;
+
+    /** Sender node id of the matched message (once recvDone()). */
+    NodeId recvSource(RecvHandle h) const;
+
+    /** True once the send was delivered and acknowledged. */
+    bool sendDone(SendHandle h) const;
+
+    /**
+     * Calibration-style progress driver: alternately settles the
+     * network and polls every node until the given predicates hold
+     * (or the round budget runs out).  Returns true on success.
+     */
+    bool progressUntil(const std::function<bool()> &done,
+                       int maxRounds = 64);
+
+    /** Block (progress) until a specific send completes. */
+    bool waitSend(SendHandle h, int maxRounds = 64);
+
+    /** Block (progress) until a specific receive completes. */
+    bool waitRecv(RecvHandle h, int maxRounds = 64);
+
+    /** Messages that arrived before a matching receive was posted. */
+    std::uint64_t unexpectedArrivals() const { return unexpected_; }
+
+  private:
+    struct PostedRecv
+    {
+        NodeId self = 0;
+        Addr buf = 0;
+        std::uint32_t maxWords = 0;
+        Word tag = 0;
+        NodeId from = anySource;
+        bool done = false;
+        std::uint32_t gotWords = 0;
+        NodeId gotFrom = invalidNode;
+    };
+
+    struct PendingSend
+    {
+        NodeId self = 0;
+        NodeId dst = 0;
+        Addr buf = 0;
+        std::uint32_t words = 0;
+        Word tag = 0;
+        bool started = false;
+        bool done = false;
+    };
+
+    /** A send request queued at the receiver before matching. */
+    struct UnexpectedMsg
+    {
+        NodeId src = 0;
+        Word tag = 0;
+        std::uint32_t words = 0;
+        Word sendId = 0;
+    };
+
+    void installSinks();
+    void onSendReq(NodeId self, NodeId src, Word sendId, Word tag,
+                   std::uint32_t words);
+    void onReplyOrAck(NodeId self, NodeId src, Word hdrArg,
+                      const std::vector<Word> &args);
+
+    /** Receiver side: bind request @p m to posted receive @p rh. */
+    void match(NodeId self, const UnexpectedMsg &m, RecvHandle rh);
+
+    bool matches(const PostedRecv &r, NodeId src, Word tag) const;
+
+    Stack &stack_;
+    std::map<RecvHandle, PostedRecv> recvs_;
+    std::map<SendHandle, PendingSend> sends_;
+    /// Receiver-side queues, per node: posted-but-unmatched receives
+    /// (in post order) and unexpected messages (in arrival order).
+    std::map<NodeId, std::deque<RecvHandle>> postedQueue_;
+    std::map<NodeId, std::deque<UnexpectedMsg>> unexpectedQueue_;
+    RecvHandle nextRecv_ = 1;
+    SendHandle nextSend_ = 1;
+    std::uint64_t unexpected_ = 0;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_MSGLIB_MSG_PASSING_HH

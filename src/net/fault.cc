@@ -1,0 +1,38 @@
+#include "net/fault.hh"
+
+namespace msgsim
+{
+
+FaultAction
+FaultInjector::apply(Packet &pkt)
+{
+    auto corrupt = [&] {
+        // Flip one bit of the first data word (or the header when the
+        // packet carries no data) and mark the packet so the NI-side
+        // CRC check fails deterministically.
+        if (!pkt.data.empty())
+            pkt.data[0] ^= 0x1u << (pkt.injectSeq % 32);
+        else
+            pkt.header ^= 0x1u;
+        pkt.corrupted = true;
+        ++corruptions_;
+        return FaultAction::Corrupt;
+    };
+
+    if (scriptedDrops_.erase(pkt.injectSeq)) {
+        ++drops_;
+        return FaultAction::Drop;
+    }
+    if (scriptedCorrupts_.erase(pkt.injectSeq))
+        return corrupt();
+
+    if (cfg_.dropRate > 0.0 && rng_.chance(cfg_.dropRate)) {
+        ++drops_;
+        return FaultAction::Drop;
+    }
+    if (cfg_.corruptRate > 0.0 && rng_.chance(cfg_.corruptRate))
+        return corrupt();
+    return FaultAction::None;
+}
+
+} // namespace msgsim

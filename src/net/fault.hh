@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Packet fault injection.
+ *
+ * The paper's network model provides "fault-detection but not
+ * fault-tolerance": packets can be lost or corrupted; corruption is
+ * detected (per-packet CRC) but not corrected.  The injector
+ * deterministically (seeded) drops or corrupts packets at configured
+ * rates, and also supports scripted faults on specific injection
+ * sequence numbers for directed tests.
+ */
+
+#ifndef MSGSIM_NET_FAULT_HH
+#define MSGSIM_NET_FAULT_HH
+
+#include <cstdint>
+#include <set>
+
+#include "net/packet.hh"
+#include "sim/rng.hh"
+
+namespace msgsim
+{
+
+/** What the injector did to a packet. */
+enum class FaultAction : std::uint8_t
+{
+    None,    ///< delivered intact
+    Drop,    ///< silently lost in the network
+    Corrupt, ///< delivered with a flipped bit (CRC will catch it)
+};
+
+/**
+ * Seeded, per-network fault injector.
+ */
+class FaultInjector
+{
+  public:
+    struct Config
+    {
+        double dropRate = 0.0;    ///< iid probability of silent loss
+        double corruptRate = 0.0; ///< iid probability of bit corruption
+        std::uint64_t seed = 0x5eedfa017ULL;
+    };
+
+    FaultInjector() : FaultInjector(Config{}) {}
+
+    explicit FaultInjector(const Config &cfg)
+        : cfg_(cfg), rng_(cfg.seed)
+    {
+    }
+
+    /**
+     * Decide the fate of @p pkt and apply corruption in place.
+     * Scripted faults (by injectSeq) take precedence over rates.
+     */
+    FaultAction apply(Packet &pkt);
+
+    /** Script a drop of the packet with global injection seq @p n. */
+    void scriptDrop(std::uint64_t n) { scriptedDrops_.insert(n); }
+
+    /** Script a corruption of the packet with injection seq @p n. */
+    void scriptCorrupt(std::uint64_t n) { scriptedCorrupts_.insert(n); }
+
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t corruptions() const { return corruptions_; }
+
+  private:
+    Config cfg_;
+    Rng rng_;
+    std::set<std::uint64_t> scriptedDrops_;
+    std::set<std::uint64_t> scriptedCorrupts_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t corruptions_ = 0;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_NET_FAULT_HH

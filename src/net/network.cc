@@ -1,0 +1,56 @@
+#include "net/network.hh"
+
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+void
+Network::attach(NodeId id, DeliverFn fn)
+{
+    sinks_[id] = std::move(fn);
+}
+
+bool
+Network::inject(Packet &&pkt)
+{
+    const auto flow =
+        std::make_tuple(pkt.src, pkt.dst, static_cast<int>(pkt.vnet));
+    pkt.injectSeq = nextInjectSeq_;
+    pkt.flowIndex = flowCounters_[flow];
+    pkt.seal();
+    trace(TraceEvent::Inject, pkt);
+    if (!injectImpl(std::move(pkt)))
+        return false;
+    ++nextInjectSeq_;
+    ++flowCounters_[flow];
+    ++stats_.injected;
+    return true;
+}
+
+bool
+Network::presentToSink(Packet &&pkt)
+{
+    auto it = sinks_.find(pkt.dst);
+    if (it == sinks_.end())
+        msgsim_panic("no sink attached for node ", pkt.dst);
+    // Capture trace metadata before the sink may consume the packet.
+    Packet meta;
+    if (tracer_) {
+        meta.src = pkt.src;
+        meta.dst = pkt.dst;
+        meta.tag = pkt.tag;
+        meta.header = pkt.header;
+        meta.injectSeq = pkt.injectSeq;
+    }
+    const bool accepted = it->second(std::move(pkt));
+    if (accepted) {
+        ++stats_.delivered;
+        trace(TraceEvent::Deliver, meta);
+    } else {
+        trace(TraceEvent::Reject, meta);
+    }
+    return accepted;
+}
+
+} // namespace msgsim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Abstract routing-network interface.
+ *
+ * A Network moves packets between attached delivery sinks (the NIs).
+ * The two concrete substrates differ exactly along the axes the paper
+ * studies, summarized in NetFeatures:
+ *
+ *  - Cm5Network: arbitrary delivery order, finite buffering
+ *    (backpressure), fault detection without correction;
+ *  - CrNetwork: in-order delivery, deadlock freedom independent of
+ *    packet acceptance (header rejection + hardware retransmission),
+ *    packet-level fault tolerance (hardware retry).
+ */
+
+#ifndef MSGSIM_NET_NETWORK_HH
+#define MSGSIM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/types.hh"
+#include "net/packet.hh"
+#include "net/tracer.hh"
+#include "sim/event.hh"
+
+namespace msgsim
+{
+
+/** High-level service guarantees a network provides in hardware. */
+struct NetFeatures
+{
+    /// Transmission order between each (src, dst) pair is preserved.
+    bool inOrderDelivery = false;
+    /// Every injected packet eventually arrives uncorrupted.
+    bool reliableDelivery = false;
+    /// Deadlock freedom does not depend on destinations accepting
+    /// packets (CR: reject + hardware retransmit).
+    bool acceptanceIndependent = false;
+};
+
+/** Aggregate traffic statistics for a network instance. */
+struct NetStats
+{
+    std::uint64_t injected = 0;      ///< packets accepted at injection
+    std::uint64_t delivered = 0;     ///< packets presented to a sink
+    std::uint64_t dropped = 0;       ///< silently lost (faults)
+    std::uint64_t corrupted = 0;     ///< delivered with bad CRC
+    std::uint64_t deliveryRetries = 0; ///< sink-full redelivery attempts
+    std::uint64_t hwRetries = 0;     ///< CR hardware retransmissions
+};
+
+/**
+ * Base class of routing substrates.
+ */
+class Network
+{
+  public:
+    /**
+     * Delivery sink: the destination NI.  Returns false when the NI
+     * cannot accept the packet right now (receive queue full or, on
+     * CR, resource-based header rejection).
+     */
+    using DeliverFn = std::function<bool(Packet &&)>;
+
+    explicit Network(Simulator &sim) : sim_(sim) {}
+    virtual ~Network() = default;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Register the delivery sink of node @p id. */
+    void attach(NodeId id, DeliverFn fn);
+
+    /**
+     * Inject a packet.  Stamps injection and flow sequence numbers.
+     * Returns false when the injection port is backpressured (the
+     * software must retry, like re-pushing a CM-5 packet whose
+     * send_ok read failed).
+     */
+    bool inject(Packet &&pkt);
+
+    /** Hardware service levels of this substrate. */
+    virtual NetFeatures features() const = 0;
+
+    /**
+     * Release packets held by order-scrambling stages (used at
+     * teardown so no packet is stranded).
+     */
+    virtual void flushHeldPackets() {}
+
+    /** Traffic statistics so far. */
+    const NetStats &stats() const { return stats_; }
+
+    /** The simulator driving this network. */
+    Simulator &sim() { return sim_; }
+
+    /**
+     * Attach (or detach, with nullptr) a packet tracer.  A pure
+     * observer: hardware events are recorded, nothing else changes.
+     */
+    void setTracer(PacketTracer *tracer) { tracer_ = tracer; }
+
+  protected:
+    /** Record a packet event if a tracer is attached. */
+    void
+    trace(TraceEvent ev, const Packet &pkt)
+    {
+        if (tracer_)
+            tracer_->record(sim_.now(), ev, pkt);
+    }
+
+    /** Substrate-specific injection behaviour. */
+    virtual bool injectImpl(Packet &&pkt) = 0;
+
+    /**
+     * Present a packet to the destination sink.  Returns the sink's
+     * acceptance result; panics when the destination was never
+     * attached.
+     */
+    bool presentToSink(Packet &&pkt);
+
+    Simulator &sim_;
+    NetStats stats_;
+
+  private:
+    PacketTracer *tracer_ = nullptr;
+    std::map<NodeId, DeliverFn> sinks_;
+    std::uint64_t nextInjectSeq_ = 0;
+    std::map<std::tuple<NodeId, NodeId, int>, std::uint64_t>
+        flowCounters_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_NET_NETWORK_HH

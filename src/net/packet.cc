@@ -1,0 +1,37 @@
+#include "net/packet.hh"
+
+namespace msgsim
+{
+
+const char *
+toString(HwTag tag)
+{
+    switch (tag) {
+      case HwTag::UserAm:     return "user-am";
+      case HwTag::XferData:   return "xfer-data";
+      case HwTag::StreamData: return "stream-data";
+      case HwTag::Control:    return "control";
+      case HwTag::StreamAck:  return "stream-ack";
+      default:                return "?";
+    }
+}
+
+std::uint32_t
+Packet::computeCrc() const
+{
+    // FNV-1a over all payload words: not the CM-5's actual CRC
+    // polynomial, but an error-detecting hash with the same role.
+    std::uint32_t h = 0x811c9dc5u;
+    auto mix = [&h](std::uint32_t w) {
+        for (int i = 0; i < 4; ++i) {
+            h ^= (w >> (8 * i)) & 0xffu;
+            h *= 16777619u;
+        }
+    };
+    mix(header);
+    for (Word w : data)
+        mix(w);
+    return h;
+}
+
+} // namespace msgsim

@@ -1,0 +1,57 @@
+#include "net/topology.hh"
+
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+FatTree::FatTree(std::uint32_t nodes, std::uint32_t arity)
+    : nodes_(nodes), arity_(arity)
+{
+    if (nodes == 0)
+        msgsim_fatal("fat tree needs at least one node");
+    if (arity < 2)
+        msgsim_fatal("fat tree arity must be >= 2, got ", arity);
+    levels_ = 1;
+    std::uint64_t reach = arity_;
+    while (reach < nodes_) {
+        reach *= arity_;
+        ++levels_;
+    }
+}
+
+std::uint32_t
+FatTree::lca(NodeId a, NodeId b) const
+{
+    if (a >= nodes_ || b >= nodes_)
+        msgsim_panic("node id out of range: ", a, ", ", b, " of ", nodes_);
+    if (a == b)
+        return 0;
+    std::uint32_t level = 1;
+    std::uint64_t span = arity_;
+    while (a / span != b / span) {
+        span *= arity_;
+        ++level;
+    }
+    return level;
+}
+
+std::uint32_t
+FatTree::hops(NodeId a, NodeId b) const
+{
+    return 2 * lca(a, b);
+}
+
+std::uint64_t
+FatTree::pathCount(NodeId a, NodeId b) const
+{
+    const std::uint32_t l = lca(a, b);
+    if (l <= 1)
+        return 1;
+    std::uint64_t paths = 1;
+    for (std::uint32_t i = 1; i < l; ++i)
+        paths *= arity_;
+    return paths;
+}
+
+} // namespace msgsim

@@ -1,0 +1,114 @@
+#include "net/tracer.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace msgsim
+{
+
+const char *
+toString(TraceEvent ev)
+{
+    switch (ev) {
+      case TraceEvent::Inject:  return "inject";
+      case TraceEvent::Deliver: return "deliver";
+      case TraceEvent::Drop:    return "drop";
+      case TraceEvent::Corrupt: return "corrupt";
+      case TraceEvent::Reject:  return "reject";
+      case TraceEvent::HwRetry: return "hw-retry";
+      default:                  return "?";
+    }
+}
+
+std::string
+TraceRecord::format() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%10llu  %-8s  %3u -> %3u  %-11s  seq=%llu  "
+                  "hdr=%08x",
+                  static_cast<unsigned long long>(when),
+                  toString(event), src, dst, toString(tag),
+                  static_cast<unsigned long long>(injectSeq), header);
+    return buf;
+}
+
+PacketTracer::PacketTracer(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1),
+      perEvent_(8, 0)
+{
+    ring_.reserve(capacity_);
+}
+
+void
+PacketTracer::record(Tick when, TraceEvent ev, const Packet &pkt)
+{
+    TraceRecord rec;
+    rec.when = when;
+    rec.event = ev;
+    rec.src = pkt.src;
+    rec.dst = pkt.dst;
+    rec.tag = pkt.tag;
+    rec.injectSeq = pkt.injectSeq;
+    rec.header = pkt.header;
+
+    if (ring_.size() < capacity_) {
+        ring_.push_back(rec);
+    } else {
+        ring_[head_] = rec;
+        wrapped_ = true;
+    }
+    head_ = (head_ + 1) % capacity_;
+    ++observed_;
+    ++perEvent_[static_cast<std::size_t>(ev)];
+}
+
+std::uint64_t
+PacketTracer::observed(TraceEvent ev) const
+{
+    return perEvent_[static_cast<std::size_t>(ev)];
+}
+
+std::vector<TraceRecord>
+PacketTracer::snapshot() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    if (!wrapped_) {
+        out = ring_;
+    } else {
+        for (std::size_t i = 0; i < ring_.size(); ++i)
+            out.push_back(ring_[(head_ + i) % capacity_]);
+    }
+    return out;
+}
+
+std::vector<TraceRecord>
+PacketTracer::select(
+    const std::function<bool(const TraceRecord &)> &pred) const
+{
+    std::vector<TraceRecord> out;
+    for (const auto &rec : snapshot())
+        if (pred(rec))
+            out.push_back(rec);
+    return out;
+}
+
+std::string
+PacketTracer::dump() const
+{
+    std::ostringstream os;
+    for (const auto &rec : snapshot())
+        os << rec.format() << "\n";
+    return os.str();
+}
+
+void
+PacketTracer::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    wrapped_ = false;
+}
+
+} // namespace msgsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Packet-event tracing.
+ *
+ * A PacketTracer records every hardware-level packet event —
+ * injection, delivery, fault, rejection, hardware retry — into a
+ * bounded ring, for debugging protocol behaviour and for asserting
+ * event-level properties in tests (e.g. "every injected packet was
+ * delivered or dropped", "no delivery precedes its injection").
+ * Tracing is a pure observer: it never perturbs instruction counts
+ * or simulation behaviour.
+ */
+
+#ifndef MSGSIM_NET_TRACER_HH
+#define MSGSIM_NET_TRACER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "net/packet.hh"
+
+namespace msgsim
+{
+
+/** Hardware-level packet event kinds. */
+enum class TraceEvent : std::uint8_t
+{
+    Inject,   ///< packet accepted at the injection port
+    Deliver,  ///< packet presented to and accepted by the NI
+    Drop,     ///< silently lost inside the network (fault)
+    Corrupt,  ///< payload corrupted in flight (fault)
+    Reject,   ///< NI refused the packet (full / acceptance check)
+    HwRetry,  ///< CR hardware retransmission
+};
+
+/** Printable name of a trace event. */
+const char *toString(TraceEvent ev);
+
+/** One recorded packet event. */
+struct TraceRecord
+{
+    Tick when = 0;
+    TraceEvent event = TraceEvent::Inject;
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    HwTag tag = HwTag::UserAm;
+    std::uint64_t injectSeq = 0;
+    Word header = 0;
+
+    /** One-line rendering: "tick ev src->dst tag seq header". */
+    std::string format() const;
+};
+
+/**
+ * Bounded ring of packet events.
+ */
+class PacketTracer
+{
+  public:
+    explicit PacketTracer(std::size_t capacity = 1u << 16);
+
+    /** Record one event (oldest entries are evicted when full). */
+    void record(Tick when, TraceEvent ev, const Packet &pkt);
+
+    /** Total events observed (including evicted ones). */
+    std::uint64_t observed() const { return observed_; }
+
+    /** Events observed of one kind. */
+    std::uint64_t observed(TraceEvent ev) const;
+
+    /** Retained records, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+    /** Retained records matching a predicate, oldest first. */
+    std::vector<TraceRecord>
+    select(const std::function<bool(const TraceRecord &)> &pred) const;
+
+    /** Render the retained trace, one event per line. */
+    std::string dump() const;
+
+    /** Drop all retained records (counters keep accumulating). */
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::vector<TraceRecord> ring_;
+    std::size_t head_ = 0; ///< next write slot
+    bool wrapped_ = false;
+    std::uint64_t observed_ = 0;
+    std::vector<std::uint64_t> perEvent_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_NET_TRACER_HH

@@ -1,0 +1,297 @@
+#include "protocols/finite_xfer.hh"
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace msgsim
+{
+
+FiniteXfer::FiniteXfer(Stack &stack) : stack_(stack)
+{
+    installSinks();
+}
+
+void
+FiniteXfer::installSinks()
+{
+    for (NodeId id = 0; id < stack_.machine().nodeCount(); ++id) {
+        Cmam &cm = stack_.cmam(id);
+        cm.setControlSink(
+            CtrlOp::XferAllocReq,
+            [this, id](NodeId src, Word tid,
+                       const std::vector<Word> &args) {
+                onAllocReq(id, src, tid, args);
+            });
+        cm.setControlSink(
+            CtrlOp::XferAllocReply,
+            [this](NodeId, Word tid, const std::vector<Word> &args) {
+                onAllocReply(tid, args);
+            });
+        cm.setControlSink(
+            CtrlOp::XferAck,
+            [this](NodeId, Word tid, const std::vector<Word> &) {
+                onAck(tid);
+            });
+    }
+}
+
+void
+FiniteXfer::onAllocReq(NodeId dstNode, NodeId srcNode, Word transferId,
+                       const std::vector<Word> &args)
+{
+    auto it = transfers_.find(transferId);
+    if (it == transfers_.end())
+        msgsim_panic("alloc request for unknown transfer ", transferId);
+    Transfer &t = it->second;
+
+    Node &node = stack_.node(dstNode);
+    Cmam &cm = stack_.cmam(dstNode);
+    FeatureScope fs(node.acct(), Feature::BufferMgmt);
+
+    // A restarted handshake first retires the stale segment.
+    const auto key = std::make_pair(dstNode, transferId);
+    if (auto seg_it = dstSegments_.find(key);
+        seg_it != dstSegments_.end()) {
+        cm.segments().free(node.proc(), seg_it->second);
+        dstSegments_.erase(seg_it);
+    }
+
+    const Word expected_packets = args.empty() ? 0 : args[0];
+    const Word seg =
+        cm.segments().alloc(node.proc(), t.dstBuf, expected_packets);
+    if (seg == invalidSegment) {
+        // Overflow safety: no segment available; tell the source to
+        // back off (paper Section 2.3's over-commitment avoidance).
+        cm.sendControl(srcNode, CtrlOp::XferAllocReply, transferId,
+                       {invalidSegment}, /*vnet=*/1);
+        return;
+    }
+    dstSegments_[key] = seg;
+
+    cm.segments().setCompletion(
+        seg, [this, dstNode, srcNode, transferId](Word segId) {
+            Node &nd = stack_.node(dstNode);
+            Cmam &c = stack_.cmam(dstNode);
+            {
+                // Step 5: release the communication segment.
+                FeatureScope f1(nd.acct(), Feature::BufferMgmt);
+                c.segments().free(nd.proc(), segId);
+            }
+            dstSegments_.erase(std::make_pair(dstNode, transferId));
+            {
+                // Step 6: end-to-end acknowledgement.
+                FeatureScope f2(nd.acct(), Feature::FaultTolerance);
+                c.sendControl(srcNode, CtrlOp::XferAck, transferId, {},
+                              /*vnet=*/1);
+            }
+        });
+
+    // Step 3: reply with the segment id.
+    cm.sendControl(srcNode, CtrlOp::XferAllocReply, transferId,
+                   {seg}, /*vnet=*/1);
+}
+
+void
+FiniteXfer::onAllocReply(Word transferId, const std::vector<Word> &args)
+{
+    Transfer &t = transfers_.at(transferId);
+    t.segId = args.empty() ? invalidSegment : args[0];
+    t.gotReply = true;
+    if (eventMode_ && t.segId != invalidSegment)
+        sendData(transferId);
+}
+
+void
+FiniteXfer::onAck(Word transferId)
+{
+    transfers_.at(transferId).gotAck = true;
+}
+
+void
+FiniteXfer::schedulePoll(NodeId id)
+{
+    if (pollPending_[id])
+        return;
+    pollPending_[id] = true;
+    stack_.sim().schedule(1, [this, id] {
+        pollPending_[id] = false;
+        Node &n = stack_.node(id);
+        FeatureScope fs(n.acct(), Feature::BaseCost);
+        if (runDiscipline_ == RecvDiscipline::Interrupt)
+            stack_.cmam(id).interruptService();
+        else
+            stack_.cmam(id).poll();
+    });
+}
+
+void
+FiniteXfer::armTimer(Word transferId, const FiniteXferParams &params)
+{
+    stack_.sim().schedule(params.ackTimeout, [this, transferId, params] {
+        Transfer &t = transfers_.at(transferId);
+        if (t.gotAck)
+            return;
+        ++t.restarts;
+        if (t.restarts > params.maxRestarts) {
+            msgsim_warn("finite xfer ", transferId, " gave up after ",
+                        params.maxRestarts, " restarts");
+            return;
+        }
+        // Recovery: re-run the whole handshake; the destination will
+        // retire the stale segment and allocate a fresh one.
+        Node &s = stack_.node(t.src);
+        FeatureScope fs(s.acct(), Feature::FaultTolerance);
+        t.gotReply = false;
+        stack_.cmam(t.src).sendControl(t.dst, CtrlOp::XferAllocReq,
+                                       transferId, {t.packets});
+        armTimer(transferId, params);
+    });
+}
+
+void
+FiniteXfer::sendData(Word transferId)
+{
+    Transfer &t = transfers_.at(transferId);
+    Node &s = stack_.node(t.src);
+    const Feature feat =
+        t.restarts ? Feature::FaultTolerance : Feature::BaseCost;
+    FeatureScope fs(s.acct(), feat);
+    if (t.dma)
+        stack_.cmam(t.src).xferSendDma(t.dst, t.segId, t.srcBuf,
+                                       t.words);
+    else
+        stack_.cmam(t.src).xferSend(t.dst, t.segId, t.srcBuf, t.words);
+    if (t.restarts)
+        t.retransmitted += t.packets;
+}
+
+RunResult
+FiniteXfer::run(const FiniteXferParams &params)
+{
+    RunResult res;
+    const int n = stack_.dataWords();
+    if (params.words == 0 ||
+        params.words % static_cast<std::uint32_t>(n) != 0)
+        msgsim_fatal("finite xfer of ", params.words,
+                     " words: not a multiple of packet size ", n);
+
+    Node &src = stack_.node(params.src);
+    Node &dst = stack_.node(params.dst);
+    Cmam &csrc = stack_.cmam(params.src);
+    Cmam &cdst = stack_.cmam(params.dst);
+
+    if (params.dma && !stack_.config().dmaXfer)
+        msgsim_fatal("DMA transfer on a stack built without "
+                     "StackConfig::dmaXfer");
+
+    const Word tid = nextTransferId_++;
+    Transfer &t = transfers_[tid];
+    t.src = params.src;
+    t.dst = params.dst;
+    t.dma = params.dma;
+    t.words = params.words;
+    t.packets = params.words / static_cast<std::uint32_t>(n);
+    t.srcBuf = src.mem().alloc(params.words);
+    t.dstBuf = dst.mem().alloc(params.words);
+
+    // Fill the source buffer with a seeded pattern (application data;
+    // uncharged setup).
+    std::uint64_t sm = params.fillSeed;
+    for (std::uint32_t i = 0; i < params.words; ++i)
+        src.mem().write(t.srcBuf + i,
+                        static_cast<Word>(splitMix64(sm)));
+
+    const InstrCounter src_before = src.acct().counter();
+    const InstrCounter dst_before = dst.acct().counter();
+    const Tick t0 = stack_.sim().now();
+    Tick done_at = t0;
+
+    eventMode_ = params.eventMode;
+    if (!params.eventMode) {
+        // ---- Calibration mode: the paper's minimum execution path,
+        // one explicitly sequenced phase at a time.
+        {
+            // Step 1.
+            FeatureScope fs(src.acct(), Feature::BufferMgmt);
+            csrc.sendControl(params.dst, CtrlOp::XferAllocReq, tid,
+                             {t.packets});
+        }
+        stack_.settle();
+        {
+            // Steps 2 + 3.
+            FeatureScope fs(dst.acct(), Feature::BufferMgmt);
+            cdst.poll();
+        }
+        stack_.settle();
+        {
+            FeatureScope fs(src.acct(), Feature::BufferMgmt);
+            csrc.poll();
+        }
+        if (!t.gotReply || t.segId == invalidSegment)
+            msgsim_panic("finite xfer handshake failed");
+        {
+            // Step 4, source side.
+            FeatureScope fs(src.acct(), Feature::BaseCost);
+            if (t.dma)
+                csrc.xferSendDma(params.dst, t.segId, t.srcBuf,
+                                 params.words);
+            else
+                csrc.xferSend(params.dst, t.segId, t.srcBuf,
+                              params.words);
+        }
+        stack_.settle();
+        {
+            // Steps 4 + 5 + 6 destination side (completion fires the
+            // segment free and the ack inside the poll).
+            FeatureScope fs(dst.acct(), Feature::BaseCost);
+            cdst.poll();
+        }
+        stack_.settle();
+        {
+            // Step 6, source side.
+            FeatureScope fs(src.acct(), Feature::FaultTolerance);
+            csrc.poll();
+        }
+        done_at = stack_.sim().now();
+    } else {
+        // ---- Event mode: arrival-hook-driven polling, timers, and
+        // restart recovery.
+        runDiscipline_ = params.discipline;
+        src.ni().setArrivalHook([this, id = params.src] {
+            schedulePoll(id);
+        });
+        dst.ni().setArrivalHook([this, id = params.dst] {
+            schedulePoll(id);
+        });
+        {
+            FeatureScope fs(src.acct(), Feature::BufferMgmt);
+            csrc.sendControl(params.dst, CtrlOp::XferAllocReq, tid,
+                             {t.packets});
+        }
+        armTimer(tid, params);
+        stack_.sim().runUntil(
+            [&] {
+                return t.gotAck || t.restarts > params.maxRestarts;
+            },
+            50'000'000);
+        done_at = stack_.sim().now();
+        src.ni().setArrivalHook(nullptr);
+        dst.ni().setArrivalHook(nullptr);
+    }
+
+    res.counts.src = src.acct().counter().diff(src_before);
+    res.counts.dst = dst.acct().counter().diff(dst_before);
+    res.elapsed = done_at - t0;
+    res.packets = t.packets;
+    res.acksSent = 1;
+    res.retransmissions = t.retransmitted;
+
+    // End-to-end integrity.
+    res.dataOk = t.gotAck;
+    for (std::uint32_t i = 0; res.dataOk && i < params.words; ++i)
+        if (dst.mem().read(t.dstBuf + i) != src.mem().read(t.srcBuf + i))
+            res.dataOk = false;
+    return res;
+}
+
+} // namespace msgsim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Common result type of protocol runs: the per-role instruction
+ * breakdown plus functional-integrity and dynamic-behaviour stats.
+ */
+
+#ifndef MSGSIM_PROTOCOLS_RESULT_HH
+#define MSGSIM_PROTOCOLS_RESULT_HH
+
+#include <cstdint>
+
+#include "core/counter.hh"
+#include "core/types.hh"
+
+namespace msgsim
+{
+
+/**
+ * Outcome of one protocol run.
+ */
+struct RunResult
+{
+    BreakdownCounter counts; ///< source/destination instruction counts
+    bool dataOk = false;     ///< end-to-end payload integrity verified
+    Tick elapsed = 0;        ///< simulated time of the whole exchange
+
+    std::uint64_t packets = 0;         ///< data packets sent (first try)
+    std::uint64_t oooArrivals = 0;     ///< packets buffered out of order
+    std::uint64_t acksSent = 0;        ///< acknowledgement packets
+    std::uint64_t retransmissions = 0; ///< software retransmissions
+    std::uint64_t duplicates = 0;      ///< duplicate data packets seen
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_PROTOCOLS_RESULT_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Round-trip request/reply over active messages — the CMAM
+ * round-trip protocol of the paper's footnote 6 ("The CMAM
+ * round-trip protocol ... however is safe"): because every request
+ * is answered and requesters bound their outstanding window, the
+ * pattern is self-throttling — request traffic can never
+ * over-commit receive buffering the way unsolicited one-way sends
+ * can, which is what makes it the safe primitive on a
+ * finite-buffered network.
+ *
+ * A server node registers typed RPC handlers (request words in,
+ * reply words out).  A client issues calls; each call costs one
+ * single-packet exchange in each direction (2 x (20 + 27) = 94
+ * instructions end to end at n = 4, plus the handler's own work).
+ */
+
+#ifndef MSGSIM_PROTOCOLS_RPC_HH
+#define MSGSIM_PROTOCOLS_RPC_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "protocols/stack.hh"
+
+namespace msgsim
+{
+
+/**
+ * Per-stack RPC engine.
+ */
+class RpcEngine
+{
+  public:
+    /**
+     * Server-side handler: request payload in, reply payload out
+     * (at most 3 words each; one word carries the call id).
+     */
+    using RpcHandler = std::function<std::vector<Word>(
+        NodeId caller, const std::vector<Word> &request)>;
+
+    /** Handle naming one outstanding call. */
+    using CallHandle = std::uint32_t;
+
+    explicit RpcEngine(Stack &stack);
+
+    RpcEngine(const RpcEngine &) = delete;
+    RpcEngine &operator=(const RpcEngine &) = delete;
+
+    /**
+     * Register procedure @p proc on node @p server.  The same
+     * procedure number may be served by many nodes.
+     */
+    void registerProcedure(NodeId server, Word proc, RpcHandler fn);
+
+    /**
+     * Issue a call from @p client: procedure @p proc on @p server
+     * with up to 3 request words.  Returns a handle.
+     */
+    CallHandle call(NodeId client, NodeId server, Word proc,
+                    const std::vector<Word> &request);
+
+    /** True once the reply arrived. */
+    bool done(CallHandle h) const;
+
+    /** The reply payload (valid once done()). */
+    const std::vector<Word> &reply(CallHandle h) const;
+
+    /**
+     * Progress the whole machine until the call completes
+     * (calibration-style settle+poll loop).  Returns success.
+     */
+    bool wait(CallHandle h, int maxRounds = 64);
+
+    /** Convenience: call and wait; panics on timeout. */
+    std::vector<Word> callSync(NodeId client, NodeId server, Word proc,
+                               const std::vector<Word> &request);
+
+  private:
+    struct Pending
+    {
+        NodeId client = 0;
+        bool done = false;
+        std::vector<Word> reply;
+    };
+
+    void onRequest(NodeId self, NodeId from,
+                   const std::vector<Word> &args);
+    void onReply(NodeId self, NodeId from,
+                 const std::vector<Word> &args);
+
+    Stack &stack_;
+    std::vector<int> reqHandler_;   ///< per-node AM handler ids
+    std::vector<int> replyHandler_; ///< per-node AM handler ids
+    std::map<std::pair<NodeId, Word>, RpcHandler> procedures_;
+    std::map<CallHandle, Pending> calls_;
+    CallHandle nextCall_ = 1;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_PROTOCOLS_RPC_HH

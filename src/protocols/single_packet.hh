@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Protocol 1: single-packet delivery (paper Section 3.2, Table 1).
+ *
+ * One CMAM_4-style active message: the cheapest communication
+ * possible.  At n = 4 the calibrated costs are 20 instructions at the
+ * source and 27 at the destination.  The same driver runs unchanged
+ * on the CR substrate (Section 4.1: identical costs, but the packet
+ * is now ordered, safe, and reliable by hardware).
+ */
+
+#ifndef MSGSIM_PROTOCOLS_SINGLE_PACKET_HH
+#define MSGSIM_PROTOCOLS_SINGLE_PACKET_HH
+
+#include <array>
+#include <vector>
+
+#include "core/row.hh"
+#include "protocols/result.hh"
+#include "protocols/stack.hh"
+
+namespace msgsim
+{
+
+/** Parameters of a single-packet run. */
+struct SinglePacketParams
+{
+    NodeId src = 0;
+    NodeId dst = 1;
+    std::vector<Word> payload; ///< up to n words; default 4 test words
+};
+
+/** Result including the Table-1 row breakdown. */
+struct SinglePacketResult : RunResult
+{
+    std::array<std::uint64_t, numCostRows> srcRows{};
+    std::array<std::uint64_t, numCostRows> dstRows{};
+};
+
+/**
+ * Send one active message and poll it in on a *fresh-counter* basis:
+ * counters are diffed around the run, rows are reported absolute
+ * (use a fresh Stack when regenerating Table 1).
+ */
+SinglePacketResult runSinglePacket(Stack &stack,
+                                   const SinglePacketParams &params);
+
+} // namespace msgsim
+
+#endif // MSGSIM_PROTOCOLS_SINGLE_PACKET_HH

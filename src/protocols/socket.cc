@@ -1,0 +1,51 @@
+#include "protocols/socket.hh"
+
+namespace msgsim
+{
+
+StreamSocket::StreamSocket(StreamProtocol &proto, NodeId src,
+                           NodeId dst, OnData onData,
+                           const Options &opts)
+    : proto_(proto)
+{
+    chan_ = proto_.openPersistent(
+        src, dst, opts.groupAck, opts.ringPackets,
+        [cb = std::move(onData)](std::uint32_t,
+                                 const std::vector<Word> &words) {
+            if (cb)
+                cb(words);
+        });
+}
+
+StreamSocket::~StreamSocket()
+{
+    proto_.closePersistent(chan_);
+}
+
+void
+StreamSocket::write(const std::vector<Word> &words)
+{
+    proto_.sendOn(chan_, words);
+    packetsWritten_ += words.size() /
+                       static_cast<std::size_t>(proto_.packetWords());
+}
+
+void
+StreamSocket::flush()
+{
+    proto_.flushChannel(chan_);
+}
+
+std::uint64_t
+StreamSocket::unacked() const
+{
+    return proto_.channelUnacked(chan_);
+}
+
+std::uint64_t
+StreamSocket::oooArrivals() const
+{
+    return proto_.channelOoo(chan_);
+}
+
+} // namespace msgsim

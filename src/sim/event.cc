@@ -1,0 +1,47 @@
+#include "sim/event.hh"
+
+namespace msgsim
+{
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    Tick when = 0;
+    auto action = queue_.pop(when);
+    now_ = when;
+    action();
+    return true;
+}
+
+std::uint64_t
+Simulator::run(std::uint64_t maxEvents)
+{
+    std::uint64_t executed = 0;
+    while (step()) {
+        ++executed;
+        if (maxEvents && executed >= maxEvents)
+            break;
+    }
+    return executed;
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done,
+                    std::uint64_t maxEvents)
+{
+    std::uint64_t executed = 0;
+    if (done())
+        return true;
+    while (step()) {
+        ++executed;
+        if (done())
+            return true;
+        if (maxEvents && executed >= maxEvents)
+            break;
+    }
+    return done();
+}
+
+} // namespace msgsim

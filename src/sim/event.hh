@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders closures by (tick, insertion sequence);
+ * ties break FIFO so the simulation is deterministic.  The Simulator
+ * owns the queue and the global clock and provides run-to-completion
+ * and run-until-predicate drivers.
+ */
+
+#ifndef MSGSIM_SIM_EVENT_HH
+#define MSGSIM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hh"
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+/**
+ * Time-ordered queue of scheduled actions.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action at absolute time @p when. */
+    void
+    schedule(Tick when, Action action)
+    {
+        heap_.push(Entry{when, nextSeq_++, std::move(action)});
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; queue must be non-empty. */
+    Tick
+    nextTick() const
+    {
+        if (heap_.empty())
+            msgsim_panic("nextTick() on empty event queue");
+        return heap_.top().when;
+    }
+
+    /**
+     * Pop and return the earliest action; queue must be non-empty.
+     * The action's scheduled time is written to @p when.
+     */
+    Action
+    pop(Tick &when)
+    {
+        if (heap_.empty())
+            msgsim_panic("pop() on empty event queue");
+        // top() is const&; move out via const_cast, safe because we
+        // pop immediately afterwards.
+        Entry &top = const_cast<Entry &>(heap_.top());
+        when = top.when;
+        Action action = std::move(top.action);
+        heap_.pop();
+        return action;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Action action;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * The simulation driver: a clock plus an event queue.
+ */
+class Simulator
+{
+  public:
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** Schedule an action @p delay ticks from now. */
+    void
+    schedule(Tick delay, EventQueue::Action action)
+    {
+        queue_.schedule(now_ + delay, std::move(action));
+    }
+
+    /** Schedule an action at absolute time @p when (>= now). */
+    void
+    scheduleAt(Tick when, EventQueue::Action action)
+    {
+        if (when < now_)
+            msgsim_panic("scheduleAt() in the past: ", when, " < ", now_);
+        queue_.schedule(when, std::move(action));
+    }
+
+    /** True when no events are pending. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Execute events in order until the queue drains.  Returns the
+     * number of events executed.  @p maxEvents bounds runaway
+     * simulations (0 means unlimited).
+     */
+    std::uint64_t run(std::uint64_t maxEvents = 0);
+
+    /**
+     * Execute events until @p done() returns true (checked after each
+     * event) or the queue drains.  Returns true if @p done fired.
+     */
+    bool runUntil(const std::function<bool()> &done,
+                  std::uint64_t maxEvents = 0);
+
+    /** Advance the clock with no event execution (test helper). */
+    void
+    advanceTo(Tick when)
+    {
+        if (when < now_)
+            msgsim_panic("advanceTo() in the past");
+        now_ = when;
+    }
+
+  private:
+    bool step();
+
+    Tick now_ = 0;
+    EventQueue queue_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_SIM_EVENT_HH

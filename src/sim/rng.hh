@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulation (path randomization,
+ * fault injection, workload generators) draws from a seeded Rng so
+ * experiments are exactly reproducible.  The generator is
+ * xoshiro256** seeded through SplitMix64, the standard pairing
+ * recommended by its authors.
+ */
+
+#ifndef MSGSIM_SIM_RNG_HH
+#define MSGSIM_SIM_RNG_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace msgsim
+{
+
+/** SplitMix64 stepper, used for seeding and as a cheap hash. */
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Seeded xoshiro256** generator with convenience distributions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x1994'0414ULL) { reseed(seed); }
+
+    /** Re-initialize the state from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &w : state_)
+            w = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound), bound > 0 (Lemire reduction). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(below(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_SIM_RNG_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lightweight statistics collectors for simulation experiments:
+ * named counters, running scalar statistics, and fixed-bin
+ * histograms.
+ */
+
+#ifndef MSGSIM_SIM_STATS_HH
+#define MSGSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace msgsim
+{
+
+/**
+ * Running mean / variance / extrema over a stream of samples
+ * (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double sum() const { return sum_; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void
+    clear()
+    {
+        *this = RunningStat();
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram with uniform bins over [lo, hi); out-of-range samples
+ * land in saturating edge bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins)
+        : lo_(lo), hi_(hi), counts_(bins, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void
+    sample(double x)
+    {
+        stat_.sample(x);
+        std::size_t bin;
+        if (x < lo_) {
+            bin = 0;
+        } else if (x >= hi_) {
+            bin = counts_.size() - 1;
+        } else {
+            const double frac = (x - lo_) / (hi_ - lo_);
+            bin = std::min(counts_.size() - 1,
+                           static_cast<std::size_t>(
+                               frac * static_cast<double>(counts_.size())));
+        }
+        ++counts_[bin];
+    }
+
+    const std::vector<std::uint64_t> &bins() const { return counts_; }
+    const RunningStat &stat() const { return stat_; }
+    double binLow(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                         static_cast<double>(counts_.size());
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    RunningStat stat_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_SIM_STATS_HH

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests of the collective operations: correctness of barrier,
+ * broadcast, reduce, and allreduce across node counts (including
+ * non-powers of two), roots, operators, and hostile networks, plus
+ * logarithmic cost scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coll/collectives.hh"
+#include "sim/rng.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+StackConfig
+config(std::uint32_t nodes)
+{
+    StackConfig cfg;
+    cfg.nodes = nodes;
+    return cfg;
+}
+
+class CollNodeSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CollNodeSweep, BarrierCompletes)
+{
+    Stack stack(config(GetParam()));
+    Collectives coll(stack);
+    const auto res = coll.barrier();
+    EXPECT_TRUE(res.ok);
+    // Dissemination: N messages per round.
+    std::uint32_t rounds = 0;
+    while ((1u << rounds) < GetParam())
+        ++rounds;
+    EXPECT_EQ(res.messages,
+              static_cast<std::uint64_t>(rounds) * GetParam());
+}
+
+TEST_P(CollNodeSweep, BroadcastReachesEveryone)
+{
+    Stack stack(config(GetParam()));
+    Collectives coll(stack);
+    std::vector<Word> out;
+    const auto res = coll.broadcast(0, 0xbeef, out);
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(out.size(), GetParam());
+    for (Word v : out)
+        EXPECT_EQ(v, 0xbeefu);
+    // Binomial tree: exactly N-1 messages.
+    EXPECT_EQ(res.messages, GetParam() - 1);
+}
+
+TEST_P(CollNodeSweep, ReduceSumsEveryContribution)
+{
+    const std::uint32_t n = GetParam();
+    Stack stack(config(n));
+    Collectives coll(stack);
+    std::vector<Word> in(n);
+    Word expect = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        in[i] = (i + 1) * 10;
+        expect += in[i];
+    }
+    Word out = 0;
+    const auto res =
+        coll.reduce(Collectives::ReduceOp::Sum, in, out, 0);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(out, expect);
+    EXPECT_EQ(res.messages, n - 1);
+}
+
+TEST_P(CollNodeSweep, AllReduceAgreesEverywhere)
+{
+    const std::uint32_t n = GetParam();
+    Stack stack(config(n));
+    Collectives coll(stack);
+    std::vector<Word> in(n);
+    Word expect = 0;
+    Rng rng(n);
+    for (auto &v : in) {
+        v = static_cast<Word>(rng.below(1000));
+        expect += v;
+    }
+    std::vector<Word> out;
+    const auto res =
+        coll.allReduce(Collectives::ReduceOp::Sum, in, out);
+    ASSERT_TRUE(res.ok);
+    for (Word v : out)
+        EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollNodeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u,
+                                           13u, 16u, 32u));
+
+TEST(Collectives, NonZeroRoots)
+{
+    Stack stack(config(8));
+    Collectives coll(stack);
+    for (NodeId root = 0; root < 8; ++root) {
+        std::vector<Word> out;
+        ASSERT_TRUE(coll.broadcast(root, 100 + root, out).ok);
+        for (Word v : out)
+            EXPECT_EQ(v, 100u + root);
+
+        std::vector<Word> in(8, 1);
+        Word sum = 0;
+        ASSERT_TRUE(coll.reduce(Collectives::ReduceOp::Sum, in, sum,
+                                root)
+                        .ok);
+        EXPECT_EQ(sum, 8u);
+    }
+}
+
+TEST(Collectives, Operators)
+{
+    Stack stack(config(5));
+    Collectives coll(stack);
+    const std::vector<Word> in{3, 9, 1, 7, 5};
+    Word out = 0;
+    ASSERT_TRUE(coll.reduce(Collectives::ReduceOp::Max, in, out).ok);
+    EXPECT_EQ(out, 9u);
+    ASSERT_TRUE(coll.reduce(Collectives::ReduceOp::Min, in, out).ok);
+    EXPECT_EQ(out, 1u);
+    ASSERT_TRUE(coll.reduce(Collectives::ReduceOp::BitOr, in, out).ok);
+    EXPECT_EQ(out, (3u | 9u | 1u | 7u | 5u));
+}
+
+TEST(Collectives, RepeatedOperationsStayClean)
+{
+    // Sequence numbers must keep stragglers of one collective from
+    // corrupting the next.
+    Stack stack(config(8));
+    Collectives coll(stack);
+    for (int round = 0; round < 10; ++round) {
+        std::vector<Word> in(8, static_cast<Word>(round));
+        std::vector<Word> out;
+        ASSERT_TRUE(
+            coll.allReduce(Collectives::ReduceOp::Sum, in, out).ok);
+        for (Word v : out)
+            EXPECT_EQ(v, 8u * static_cast<Word>(round));
+        ASSERT_TRUE(coll.barrier().ok);
+    }
+}
+
+TEST(Collectives, SurvivesScrambledDelivery)
+{
+    StackConfig cfg = config(16);
+    cfg.maxJitter = 25;
+    cfg.seed = 3;
+    Stack stack(cfg);
+    Collectives coll(stack);
+    std::vector<Word> in(16);
+    Word expect = 0;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        in[i] = i * i;
+        expect += in[i];
+    }
+    std::vector<Word> out;
+    ASSERT_TRUE(coll.allReduce(Collectives::ReduceOp::Sum, in, out).ok);
+    for (Word v : out)
+        EXPECT_EQ(v, expect);
+}
+
+TEST(Collectives, GatherCollectsEveryContribution)
+{
+    for (std::uint32_t n : {2u, 7u, 16u}) {
+        Stack stack(config(n));
+        Collectives coll(stack);
+        std::vector<Word> in(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            in[i] = 1000 + i;
+        std::vector<Word> out;
+        const auto res = coll.gather(in, out, n / 2);
+        ASSERT_TRUE(res.ok) << n;
+        ASSERT_EQ(out.size(), n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            EXPECT_EQ(out[i], 1000 + i) << n;
+        EXPECT_EQ(res.messages, n - 1);
+    }
+}
+
+TEST(Collectives, AllToAllPersonalizedExchange)
+{
+    const std::uint32_t n = 8;
+    StackConfig cfg = config(n);
+    cfg.maxJitter = 15; // scrambled arrival order must not matter
+    Stack stack(cfg);
+    Collectives coll(stack);
+    std::vector<std::vector<Word>> in(n, std::vector<Word>(n));
+    for (NodeId i = 0; i < n; ++i)
+        for (NodeId j = 0; j < n; ++j)
+            in[i][j] = i * 100 + j;
+    std::vector<std::vector<Word>> out;
+    const auto res = coll.allToAll(in, out);
+    ASSERT_TRUE(res.ok);
+    for (NodeId i = 0; i < n; ++i)
+        for (NodeId j = 0; j < n; ++j)
+            EXPECT_EQ(out[i][j], j * 100 + i) << i << "," << j;
+    EXPECT_EQ(res.messages, static_cast<std::uint64_t>(n) * (n - 1));
+}
+
+TEST(Collectives, PerNodeCostScalesLogarithmically)
+{
+    // Dissemination barrier: each node sends and receives exactly
+    // ceil(log2 N) tokens, so per-node instructions grow with log N,
+    // not N.
+    std::vector<double> per_node;
+    for (std::uint32_t n : {4u, 16u, 64u}) {
+        Stack stack(config(n));
+        Collectives coll(stack);
+        const auto res = coll.barrier();
+        ASSERT_TRUE(res.ok);
+        per_node.push_back(static_cast<double>(res.instructions) /
+                           static_cast<double>(n));
+    }
+    // 4 -> 16 -> 64 nodes: log2 doubles each step (2, 4, 6 rounds).
+    EXPECT_NEAR(per_node[1] / per_node[0], 2.0, 0.35);
+    EXPECT_NEAR(per_node[2] / per_node[1], 1.5, 0.30);
+}
+
+} // namespace
+} // namespace msgsim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests of the accounting core: InstrCounter, BreakdownCounter,
+ * Accounting scopes, and cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accounting.hh"
+#include "core/cost_model.hh"
+#include "core/counter.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+TEST(InstrCounter, StartsEmpty)
+{
+    InstrCounter c;
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.paperTotal(), 0u);
+    for (int f = 0; f < numFeatures; ++f)
+        EXPECT_EQ(c.featureTotal(static_cast<Feature>(f)), 0u);
+}
+
+TEST(InstrCounter, AddAndQuery)
+{
+    InstrCounter c;
+    c.add(Feature::BaseCost, OpClass::Reg, 5);
+    c.add(Feature::BaseCost, OpClass::MemLoad, 2);
+    c.add(Feature::FaultTolerance, OpClass::DevStore, 3);
+
+    EXPECT_EQ(c.get(Feature::BaseCost, OpClass::Reg), 5u);
+    EXPECT_EQ(c.featureTotal(Feature::BaseCost), 7u);
+    EXPECT_EQ(c.featureTotal(Feature::FaultTolerance), 3u);
+    EXPECT_EQ(c.total(), 10u);
+    EXPECT_EQ(c.category(Feature::BaseCost, Category::Mem), 2u);
+    EXPECT_EQ(c.categoryTotal(Category::Dev), 3u);
+}
+
+TEST(InstrCounter, CategoryProjection)
+{
+    EXPECT_EQ(categoryOf(OpClass::Reg), Category::Reg);
+    EXPECT_EQ(categoryOf(OpClass::MemLoad), Category::Mem);
+    EXPECT_EQ(categoryOf(OpClass::MemStore), Category::Mem);
+    EXPECT_EQ(categoryOf(OpClass::DevLoad), Category::Dev);
+    EXPECT_EQ(categoryOf(OpClass::DevStore), Category::Dev);
+}
+
+TEST(InstrCounter, PaperTotalExcludesIdle)
+{
+    InstrCounter c;
+    c.add(Feature::BaseCost, OpClass::Reg, 10);
+    c.add(Feature::Idle, OpClass::DevLoad, 99);
+    EXPECT_EQ(c.paperTotal(), 10u);
+    EXPECT_EQ(c.total(), 109u);
+}
+
+TEST(InstrCounter, MergeAndDiff)
+{
+    InstrCounter a, b;
+    a.add(Feature::BaseCost, OpClass::Reg, 5);
+    b.add(Feature::BaseCost, OpClass::Reg, 3);
+    b.add(Feature::BufferMgmt, OpClass::MemStore, 2);
+
+    InstrCounter sum = a + b;
+    EXPECT_EQ(sum.get(Feature::BaseCost, OpClass::Reg), 8u);
+    EXPECT_EQ(sum.get(Feature::BufferMgmt, OpClass::MemStore), 2u);
+
+    InstrCounter d = sum.diff(a);
+    EXPECT_EQ(d, b);
+}
+
+TEST(BreakdownCounter, OverheadFraction)
+{
+    BreakdownCounter bd;
+    bd.src.add(Feature::BaseCost, OpClass::Reg, 50);
+    bd.dst.add(Feature::BaseCost, OpClass::Reg, 50);
+    bd.src.add(Feature::InOrderDelivery, OpClass::Reg, 60);
+    bd.dst.add(Feature::FaultTolerance, OpClass::Reg, 40);
+    EXPECT_EQ(bd.paperTotal(), 200u);
+    EXPECT_DOUBLE_EQ(bd.overheadFraction(), 0.5);
+}
+
+TEST(Accounting, ScopesNestAndRestore)
+{
+    Accounting a;
+    EXPECT_EQ(a.feature(), Feature::BaseCost);
+    {
+        FeatureScope f1(a, Feature::BufferMgmt);
+        EXPECT_EQ(a.feature(), Feature::BufferMgmt);
+        a.charge(OpClass::Reg, 2);
+        {
+            FeatureScope f2(a, Feature::FaultTolerance);
+            a.charge(OpClass::Reg, 3);
+        }
+        EXPECT_EQ(a.feature(), Feature::BufferMgmt);
+        a.charge(OpClass::Reg, 1);
+    }
+    EXPECT_EQ(a.feature(), Feature::BaseCost);
+    EXPECT_EQ(a.counter().featureTotal(Feature::BufferMgmt), 3u);
+    EXPECT_EQ(a.counter().featureTotal(Feature::FaultTolerance), 3u);
+}
+
+TEST(Accounting, RowAttribution)
+{
+    Accounting a;
+    {
+        RowScope r(a, CostRow::WriteNi);
+        a.charge(OpClass::DevStore, 2);
+    }
+    {
+        RowScope r(a, CostRow::CheckStatus);
+        a.charge(OpClass::DevLoad, 1);
+        a.charge(OpClass::Reg, 4);
+    }
+    EXPECT_EQ(a.rowTotal(CostRow::WriteNi), 2u);
+    EXPECT_EQ(a.rowTotal(CostRow::CheckStatus), 5u);
+    EXPECT_EQ(a.rowTotal(CostRow::CallReturn), 0u);
+}
+
+TEST(CostModel, UnitAndCm5Weights)
+{
+    InstrCounter c;
+    c.add(Feature::BaseCost, OpClass::Reg, 10);
+    c.add(Feature::BaseCost, OpClass::MemLoad, 5);
+    c.add(Feature::BaseCost, OpClass::DevStore, 2);
+
+    EXPECT_DOUBLE_EQ(CostModel::unit().cycles(c), 17.0);
+    // CM-5 model: dev costs 5 cycles (Appendix A).
+    EXPECT_DOUBLE_EQ(CostModel::cm5().cycles(c), 10 + 5 + 2 * 5.0);
+}
+
+TEST(CostModel, PerFeatureCycles)
+{
+    InstrCounter c;
+    c.add(Feature::FaultTolerance, OpClass::DevLoad, 4);
+    const CostModel m = CostModel::cm5();
+    EXPECT_DOUBLE_EQ(m.cycles(c, Feature::FaultTolerance), 20.0);
+    EXPECT_DOUBLE_EQ(m.cycles(c, Feature::BaseCost), 0.0);
+}
+
+TEST(Strings, EnumNames)
+{
+    EXPECT_STREQ(toString(Feature::BaseCost), "Base Cost");
+    EXPECT_STREQ(toString(Feature::InOrderDelivery), "In-order Del.");
+    EXPECT_STREQ(toString(Category::Dev), "dev");
+    EXPECT_STREQ(toString(Direction::Source), "Source");
+    EXPECT_STREQ(toString(CostRow::CheckStatus), "Check NI status");
+    EXPECT_STREQ(toString(OpClass::MemLoad), "mem.load");
+}
+
+} // namespace
+} // namespace msgsim

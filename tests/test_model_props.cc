@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property tests of the analytic model itself: monotonicity,
+ * linearity, and bounds that must hold over the whole parameter
+ * space (not just the points the simulator sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/analytic.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+TEST(ModelProps, TotalsLinearInMessageSize)
+{
+    // With n fixed, totals are affine in p: cost(2W) - cost(W) ==
+    // cost(3W) - cost(2W).
+    for (int n : {4, 8, 32}) {
+        ProtoParams a, b, c;
+        a.n = b.n = c.n = n;
+        a.words = static_cast<std::uint32_t>(n) * 8;
+        b.words = a.words * 2;
+        c.words = a.words * 3;
+        const double d1 = cmamFiniteModel(b).grandTotal() -
+                          cmamFiniteModel(a).grandTotal();
+        const double d2 = cmamFiniteModel(c).grandTotal() -
+                          cmamFiniteModel(b).grandTotal();
+        EXPECT_DOUBLE_EQ(d1, d2) << n;
+        const double s1 = cmamStreamModel(b).grandTotal() -
+                          cmamStreamModel(a).grandTotal();
+        const double s2 = cmamStreamModel(c).grandTotal() -
+                          cmamStreamModel(b).grandTotal();
+        EXPECT_DOUBLE_EQ(s1, s2) << n;
+    }
+}
+
+TEST(ModelProps, StreamCostMonotoneInOooFraction)
+{
+    ProtoParams p;
+    p.words = 1024;
+    double prev = -1;
+    for (double f : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+        p.oooFraction = f;
+        const double total = cmamStreamModel(p).grandTotal();
+        EXPECT_GT(total, prev) << f;
+        prev = total;
+    }
+}
+
+TEST(ModelProps, StreamCostMonotoneNonIncreasingInGroupSize)
+{
+    ProtoParams p;
+    p.words = 1024;
+    double prev = 1e18;
+    for (int g : {1, 2, 4, 8, 16, 64, 256}) {
+        p.groupAck = g;
+        const double total = cmamStreamModel(p).grandTotal();
+        EXPECT_LE(total, prev) << g;
+        prev = total;
+    }
+}
+
+TEST(ModelProps, HlNeverWorseAnywhere)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        ProtoParams p;
+        p.n = static_cast<int>(2 * (2 + rng.below(31))); // 4..66
+        p.words = static_cast<std::uint32_t>(p.n) *
+                  static_cast<std::uint32_t>(1 + rng.below(200));
+        p.oooFraction = rng.uniform();
+        p.groupAck = static_cast<int>(1 + rng.below(16));
+        EXPECT_LE(hlFiniteModel(p).grandTotal(),
+                  cmamFiniteModel(p).grandTotal())
+            << "n=" << p.n << " w=" << p.words;
+        EXPECT_LE(hlStreamModel(p).grandTotal(),
+                  cmamStreamModel(p).grandTotal())
+            << "n=" << p.n << " w=" << p.words;
+    }
+}
+
+TEST(ModelProps, HlStreamImprovementIsSizeIndependent)
+{
+    // §4.1: ~70% reduction "independent of message size" — the ratio
+    // converges as p grows and stays in a narrow band.
+    ProtoParams p;
+    for (std::uint32_t words : {64u, 256u, 4096u, 65536u}) {
+        p.words = words;
+        const double imp =
+            hlImprovement(cmamStreamModel(p), hlStreamModel(p));
+        EXPECT_GT(imp, 0.66) << words;
+        EXPECT_LT(imp, 0.72) << words;
+    }
+}
+
+TEST(ModelProps, OverheadFractionBounded)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        ProtoParams p;
+        p.n = static_cast<int>(2 * (2 + rng.below(63)));
+        p.words = static_cast<std::uint32_t>(p.n) *
+                  static_cast<std::uint32_t>(1 + rng.below(500));
+        p.oooFraction = rng.uniform();
+        p.groupAck = static_cast<int>(1 + rng.below(64));
+        for (const auto &bd :
+             {cmamFiniteModel(p), cmamStreamModel(p),
+              hlFiniteModel(p), hlStreamModel(p)}) {
+            const double f = bd.overheadFraction();
+            EXPECT_GE(f, 0.0);
+            EXPECT_LT(f, 1.0);
+        }
+    }
+}
+
+TEST(ModelProps, DmaStrictlyCheaperButHigherOverheadFraction)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 100; ++trial) {
+        ProtoParams pio;
+        pio.n = static_cast<int>(2 * (2 + rng.below(31)));
+        pio.words = static_cast<std::uint32_t>(pio.n) *
+                    static_cast<std::uint32_t>(2 + rng.below(100));
+        ProtoParams dma = pio;
+        dma.dma = true;
+        const auto a = cmamFiniteModel(pio);
+        const auto b = cmamFiniteModel(dma);
+        EXPECT_LT(b.grandTotal(), a.grandTotal());
+        EXPECT_GE(b.overheadFraction(), a.overheadFraction());
+    }
+}
+
+TEST(ModelProps, SinglePacketIndependentOfHardwarePacketSize)
+{
+    const double base = singlePacketModel(4).grandTotal();
+    for (int n : {8, 16, 64, 128})
+        EXPECT_DOUBLE_EQ(singlePacketModel(n).grandTotal(), base);
+}
+
+TEST(ModelProps, ValidationRejectsBadParams)
+{
+    log_detail::throwOnError = true;
+    ProtoParams p;
+    p.n = 3; // odd
+    EXPECT_THROW(cmamFiniteModel(p), log_detail::SimError);
+    p.n = 4;
+    p.words = 10; // not a multiple
+    EXPECT_THROW(cmamStreamModel(p), log_detail::SimError);
+    p.words = 16;
+    p.oooFraction = 1.5;
+    EXPECT_THROW(cmamStreamModel(p), log_detail::SimError);
+    log_detail::throwOnError = false;
+}
+
+} // namespace
+} // namespace msgsim

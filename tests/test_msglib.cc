@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests of the CMMD/MPI-style tag-matched message-passing library:
+ * rendezvous matching, wildcards, unexpected-message queuing, FIFO
+ * per (source, tag), and integrity over hostile networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "msglib/msg_passing.hh"
+#include "sim/rng.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+StackConfig
+baseConfig(std::uint32_t nodes = 4)
+{
+    StackConfig cfg;
+    cfg.nodes = nodes;
+    return cfg;
+}
+
+void
+fill(Node &node, Addr buf, std::uint32_t words, std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (std::uint32_t i = 0; i < words; ++i)
+        node.mem().write(buf + i, static_cast<Word>(splitMix64(sm)));
+}
+
+bool
+same(Node &a, Addr abuf, Node &b, Addr bbuf, std::uint32_t words)
+{
+    for (std::uint32_t i = 0; i < words; ++i)
+        if (a.mem().read(abuf + i) != b.mem().read(bbuf + i))
+            return false;
+    return true;
+}
+
+TEST(MsgLib, RecvFirstThenSend)
+{
+    Stack stack(baseConfig());
+    MsgPassing mp(stack);
+    Node &s = stack.node(0);
+    Node &d = stack.node(1);
+    const Addr sbuf = s.mem().alloc(16);
+    const Addr dbuf = d.mem().alloc(16);
+    fill(s, sbuf, 16, 1);
+
+    const auto rh = mp.postRecv(1, dbuf, 16, /*tag=*/7);
+    const auto sh = mp.send(0, 1, sbuf, 16, /*tag=*/7);
+    ASSERT_TRUE(mp.waitSend(sh));
+    ASSERT_TRUE(mp.recvDone(rh));
+    EXPECT_EQ(mp.recvWords(rh), 16u);
+    EXPECT_EQ(mp.recvSource(rh), 0u);
+    EXPECT_TRUE(same(s, sbuf, d, dbuf, 16));
+    EXPECT_EQ(mp.unexpectedArrivals(), 0u);
+}
+
+TEST(MsgLib, SendFirstParksAsUnexpected)
+{
+    Stack stack(baseConfig());
+    MsgPassing mp(stack);
+    Node &s = stack.node(0);
+    Node &d = stack.node(1);
+    const Addr sbuf = s.mem().alloc(8);
+    const Addr dbuf = d.mem().alloc(8);
+    fill(s, sbuf, 8, 2);
+
+    const auto sh = mp.send(0, 1, sbuf, 8, 42);
+    // Let the request arrive with no receive posted.
+    mp.progressUntil([&] { return mp.unexpectedArrivals() > 0; });
+    EXPECT_EQ(mp.unexpectedArrivals(), 1u);
+    EXPECT_FALSE(mp.sendDone(sh));
+
+    const auto rh = mp.postRecv(1, dbuf, 8, 42);
+    ASSERT_TRUE(mp.waitSend(sh));
+    EXPECT_TRUE(mp.recvDone(rh));
+    EXPECT_TRUE(same(s, sbuf, d, dbuf, 8));
+}
+
+TEST(MsgLib, TagSelectivity)
+{
+    Stack stack(baseConfig());
+    MsgPassing mp(stack);
+    Node &s = stack.node(0);
+    Node &d = stack.node(1);
+    const Addr b1 = s.mem().alloc(4);
+    const Addr b2 = s.mem().alloc(4);
+    const Addr r1 = d.mem().alloc(4);
+    const Addr r2 = d.mem().alloc(4);
+    fill(s, b1, 4, 10);
+    fill(s, b2, 4, 20);
+
+    // Receives posted for tags 5 then 6; sends arrive 6 then 5.
+    const auto rh5 = mp.postRecv(1, r1, 4, 5);
+    const auto rh6 = mp.postRecv(1, r2, 4, 6);
+    const auto sh6 = mp.send(0, 1, b2, 4, 6);
+    ASSERT_TRUE(mp.waitSend(sh6));
+    const auto sh5 = mp.send(0, 1, b1, 4, 5);
+    ASSERT_TRUE(mp.waitSend(sh5));
+
+    ASSERT_TRUE(mp.recvDone(rh5));
+    ASSERT_TRUE(mp.recvDone(rh6));
+    EXPECT_TRUE(same(s, b1, d, r1, 4)); // tag 5 landed in r1
+    EXPECT_TRUE(same(s, b2, d, r2, 4)); // tag 6 landed in r2
+}
+
+TEST(MsgLib, WildcardSourceAndTag)
+{
+    Stack stack(baseConfig());
+    MsgPassing mp(stack);
+    Node &s = stack.node(2);
+    Node &d = stack.node(1);
+    const Addr sbuf = s.mem().alloc(4);
+    const Addr dbuf = d.mem().alloc(4);
+    fill(s, sbuf, 4, 3);
+
+    const auto rh = mp.postRecv(1, dbuf, 4, anyTag, anySource);
+    const auto sh = mp.send(2, 1, sbuf, 4, 999);
+    ASSERT_TRUE(mp.waitSend(sh));
+    ASSERT_TRUE(mp.recvDone(rh));
+    EXPECT_EQ(mp.recvSource(rh), 2u);
+    EXPECT_TRUE(same(s, sbuf, d, dbuf, 4));
+}
+
+TEST(MsgLib, SourceSelectivity)
+{
+    Stack stack(baseConfig());
+    MsgPassing mp(stack);
+    Node &s0 = stack.node(0);
+    Node &s2 = stack.node(2);
+    Node &d = stack.node(1);
+    const Addr b0 = s0.mem().alloc(4);
+    const Addr b2 = s2.mem().alloc(4);
+    const Addr r0 = d.mem().alloc(4);
+    const Addr r2 = d.mem().alloc(4);
+    fill(s0, b0, 4, 100);
+    fill(s2, b2, 4, 200);
+
+    const auto rh_from2 = mp.postRecv(1, r2, 4, 1, /*from=*/2);
+    const auto rh_from0 = mp.postRecv(1, r0, 4, 1, /*from=*/0);
+    const auto sh0 = mp.send(0, 1, b0, 4, 1);
+    const auto sh2 = mp.send(2, 1, b2, 4, 1);
+    ASSERT_TRUE(mp.waitSend(sh0));
+    ASSERT_TRUE(mp.waitSend(sh2));
+    ASSERT_TRUE(mp.recvDone(rh_from0));
+    ASSERT_TRUE(mp.recvDone(rh_from2));
+    EXPECT_TRUE(same(s0, b0, d, r0, 4));
+    EXPECT_TRUE(same(s2, b2, d, r2, 4));
+}
+
+TEST(MsgLib, FifoPerSourceAndTag)
+{
+    // Two same-tag messages from one sender must land in post order.
+    Stack stack(baseConfig());
+    MsgPassing mp(stack);
+    Node &s = stack.node(0);
+    Node &d = stack.node(1);
+    const Addr b1 = s.mem().alloc(4);
+    const Addr b2 = s.mem().alloc(4);
+    const Addr r1 = d.mem().alloc(4);
+    const Addr r2 = d.mem().alloc(4);
+    fill(s, b1, 4, 7);
+    fill(s, b2, 4, 8);
+
+    const auto rhA = mp.postRecv(1, r1, 4, 3);
+    const auto rhB = mp.postRecv(1, r2, 4, 3);
+    const auto sh1 = mp.send(0, 1, b1, 4, 3);
+    ASSERT_TRUE(mp.waitSend(sh1));
+    const auto sh2 = mp.send(0, 1, b2, 4, 3);
+    ASSERT_TRUE(mp.waitSend(sh2));
+
+    ASSERT_TRUE(mp.recvDone(rhA));
+    ASSERT_TRUE(mp.recvDone(rhB));
+    EXPECT_TRUE(same(s, b1, d, r1, 4)); // first send -> first post
+    EXPECT_TRUE(same(s, b2, d, r2, 4));
+}
+
+TEST(MsgLib, ManyPairsConcurrently)
+{
+    Stack stack(baseConfig(8));
+    MsgPassing mp(stack);
+    std::vector<MsgPassing::SendHandle> sends;
+    std::vector<MsgPassing::RecvHandle> recvs;
+    std::vector<std::pair<Addr, Addr>> bufs;
+
+    for (NodeId i = 0; i < 8; ++i) {
+        const NodeId peer = (i + 3) % 8;
+        Node &s = stack.node(i);
+        Node &d = stack.node(peer);
+        const Addr sb = s.mem().alloc(32);
+        const Addr db = d.mem().alloc(32);
+        fill(s, sb, 32, 1000 + i);
+        bufs.emplace_back(sb, db);
+        recvs.push_back(mp.postRecv(peer, db, 32, i, i));
+        sends.push_back(mp.send(i, peer, sb, 32, i));
+    }
+    ASSERT_TRUE(mp.progressUntil([&] {
+        for (auto h : sends)
+            if (!mp.sendDone(h))
+                return false;
+        return true;
+    }));
+    for (NodeId i = 0; i < 8; ++i) {
+        const NodeId peer = (i + 3) % 8;
+        EXPECT_TRUE(mp.recvDone(recvs[i])) << i;
+        EXPECT_TRUE(same(stack.node(i), bufs[i].first,
+                         stack.node(peer), bufs[i].second, 32))
+            << i;
+    }
+}
+
+TEST(MsgLib, WorksOverScrambledNetwork)
+{
+    StackConfig cfg = baseConfig();
+    cfg.order = randomWindowFactory(8, 55);
+    Stack stack(cfg);
+    MsgPassing mp(stack);
+    Node &s = stack.node(0);
+    Node &d = stack.node(3);
+    const Addr sbuf = s.mem().alloc(128);
+    const Addr dbuf = d.mem().alloc(128);
+    fill(s, sbuf, 128, 77);
+
+    const auto rh = mp.postRecv(3, dbuf, 128, 9);
+    const auto sh = mp.send(0, 3, sbuf, 128, 9);
+    ASSERT_TRUE(mp.waitSend(sh));
+    ASSERT_TRUE(mp.recvDone(rh));
+    EXPECT_TRUE(same(s, sbuf, d, dbuf, 128));
+}
+
+TEST(MsgLib, OverflowingMessageIsFatal)
+{
+    log_detail::throwOnError = true;
+    Stack stack(baseConfig());
+    MsgPassing mp(stack);
+    Node &s = stack.node(0);
+    Node &d = stack.node(1);
+    const Addr sbuf = s.mem().alloc(16);
+    const Addr dbuf = d.mem().alloc(8);
+    mp.postRecv(1, dbuf, 8, 1);
+    mp.send(0, 1, sbuf, 16, 1);
+    EXPECT_THROW(mp.progressUntil([] { return false; }, 4),
+                 log_detail::SimError);
+    log_detail::throwOnError = false;
+}
+
+} // namespace
+} // namespace msgsim

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Functional tests of the three protocols (calibration mode):
+ * integrity across sizes, repeated and interleaved transfers,
+ * scrambled delivery, group acknowledgements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocols/finite_xfer.hh"
+#include "protocols/single_packet.hh"
+#include "protocols/stream.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+StackConfig
+baseConfig()
+{
+    StackConfig cfg;
+    cfg.nodes = 4;
+    return cfg;
+}
+
+TEST(SinglePacket, WorksBetweenAnyPair)
+{
+    Stack stack(baseConfig());
+    for (NodeId s = 0; s < 4; ++s)
+        for (NodeId d = 0; d < 4; ++d) {
+            if (s == d)
+                continue;
+            SinglePacketParams p;
+            p.src = s;
+            p.dst = d;
+            p.payload = {s, d, s + d, s * 16 + d};
+            const auto res = runSinglePacket(stack, p);
+            EXPECT_TRUE(res.dataOk) << s << "->" << d;
+        }
+}
+
+class FiniteSizes : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FiniteSizes, IntegrityAcrossSizes)
+{
+    Stack stack(baseConfig());
+    FiniteXfer proto(stack);
+    FiniteXferParams p;
+    p.words = GetParam();
+    const auto res = proto.run(p);
+    EXPECT_TRUE(res.dataOk);
+    EXPECT_EQ(res.packets, GetParam() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FiniteSizes,
+                         ::testing::Values(4u, 8u, 16u, 64u, 256u,
+                                           1024u, 4096u));
+
+TEST(Finite, SequentialTransfersReuseSegments)
+{
+    StackConfig cfg = baseConfig();
+    cfg.maxSegments = 2; // far fewer segments than transfers
+    Stack stack(cfg);
+    FiniteXfer proto(stack);
+    for (int i = 0; i < 10; ++i) {
+        FiniteXferParams p;
+        p.words = 16;
+        p.fillSeed = static_cast<std::uint64_t>(i) * 77 + 1;
+        const auto res = proto.run(p);
+        EXPECT_TRUE(res.dataOk) << "iteration " << i;
+    }
+    // All segments returned.
+    EXPECT_EQ(stack.cmam(1).segments().allocatedCount(), 0);
+}
+
+TEST(Finite, DifferentNodePairs)
+{
+    Stack stack(baseConfig());
+    FiniteXfer proto(stack);
+    FiniteXferParams p;
+    p.src = 3;
+    p.dst = 2;
+    p.words = 64;
+    const auto res = proto.run(p);
+    EXPECT_TRUE(res.dataOk);
+}
+
+TEST(Finite, CostsScaleLinearlyWithPackets)
+{
+    // totals = 77 + 24p (src), 140 + 21p (dst) at n = 4.
+    Stack stack(baseConfig());
+    FiniteXfer proto(stack);
+    for (std::uint32_t words : {4u, 40u, 400u}) {
+        FiniteXferParams p;
+        p.words = words;
+        const auto res = proto.run(p);
+        const std::uint64_t packets = words / 4;
+        EXPECT_EQ(res.counts.src.paperTotal(), 77 + 24 * packets);
+        EXPECT_EQ(res.counts.dst.paperTotal(), 140 + 21 * packets);
+    }
+}
+
+TEST(Finite, ScramblingDoesNotChangeCosts)
+{
+    // The offset-based design makes the finite protocol's cost
+    // insensitive to delivery order (no sequencing!).
+    StackConfig scrambled = baseConfig();
+    scrambled.order = randomWindowFactory(8, 1234);
+    Stack s1(baseConfig());
+    Stack s2(scrambled);
+    FiniteXfer p1(s1), p2(s2);
+    FiniteXferParams params;
+    params.words = 256;
+    const auto r1 = p1.run(params);
+    const auto r2 = p2.run(params);
+    ASSERT_TRUE(r1.dataOk);
+    ASSERT_TRUE(r2.dataOk);
+    EXPECT_EQ(r1.counts.src.paperTotal(), r2.counts.src.paperTotal());
+    EXPECT_EQ(r1.counts.dst.paperTotal(), r2.counts.dst.paperTotal());
+}
+
+// --- Stream ---------------------------------------------------------
+
+TEST(Stream, InOrderDeliveryUnderHeavyScrambling)
+{
+    StackConfig cfg = baseConfig();
+    cfg.order = randomWindowFactory(16, 99);
+    Stack stack(cfg);
+    StreamProtocol proto(stack);
+    StreamParams p;
+    p.words = 512;
+    const auto res = proto.run(p);
+    EXPECT_TRUE(res.dataOk); // exact content, exact order
+    EXPECT_GT(res.oooArrivals, 0u);
+}
+
+TEST(Stream, FifoNetworkMeansNoOooCost)
+{
+    Stack stack(baseConfig()); // FIFO order
+    StreamProtocol proto(stack);
+    StreamParams p;
+    p.words = 64;
+    const auto res = proto.run(p);
+    ASSERT_TRUE(res.dataOk);
+    EXPECT_EQ(res.oooArrivals, 0u);
+    // dst in-order = 6 reg per packet only (16 packets).
+    EXPECT_EQ(res.counts.dst.featureTotal(Feature::InOrderDelivery),
+              6u * 16u);
+}
+
+TEST(Stream, PerPacketAcksCountMatches)
+{
+    Stack stack(baseConfig());
+    StreamProtocol proto(stack);
+    StreamParams p;
+    p.words = 64;
+    const auto res = proto.run(p);
+    EXPECT_EQ(res.acksSent, 16u);
+}
+
+class GroupAckSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GroupAckSweep, CumulativeAcksPreserveIntegrity)
+{
+    StackConfig cfg = baseConfig();
+    cfg.order = swapAdjacentFactory();
+    Stack stack(cfg);
+    StreamProtocol proto(stack);
+    StreamParams p;
+    p.words = 256; // 64 packets
+    p.groupAck = GetParam();
+    const auto res = proto.run(p);
+    EXPECT_TRUE(res.dataOk);
+    const std::uint64_t g = static_cast<std::uint64_t>(GetParam());
+    const std::uint64_t expected_acks = (64 + g - 1) / g;
+    EXPECT_EQ(res.acksSent, expected_acks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupAckSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+TEST(Stream, GroupAcksReduceFaultToleranceCost)
+{
+    StackConfig cfg = baseConfig();
+    cfg.order = swapAdjacentFactory();
+    std::uint64_t prev = ~0ull;
+    for (int g : {1, 4, 16}) {
+        Stack stack(cfg);
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = 1024;
+        p.groupAck = g;
+        const auto res = proto.run(p);
+        ASSERT_TRUE(res.dataOk);
+        const auto ft =
+            res.counts.src.featureTotal(Feature::FaultTolerance) +
+            res.counts.dst.featureTotal(Feature::FaultTolerance);
+        EXPECT_LT(ft, prev) << "G=" << g;
+        prev = ft;
+    }
+}
+
+TEST(Stream, PaperClaimOverheadSignificantEvenWithGroupAcks)
+{
+    // §3.2: "the overhead remains significant (~40-50%) even if group
+    // acknowledgements are employed."
+    StackConfig cfg = baseConfig();
+    cfg.order = swapAdjacentFactory();
+    Stack stack(cfg);
+    StreamProtocol proto(stack);
+    StreamParams p;
+    p.words = 1024;
+    p.groupAck = 64;
+    const auto res = proto.run(p);
+    ASSERT_TRUE(res.dataOk);
+    const double overhead = res.counts.overheadFraction();
+    EXPECT_GT(overhead, 0.40);
+    EXPECT_LT(overhead, 0.60);
+}
+
+TEST(Stream, SeventyPercentOverheadClaim)
+{
+    // §3.2: in-order + fault tolerance ≈ 70% of end-to-end cost,
+    // independent of volume.
+    StackConfig cfg = baseConfig();
+    cfg.order = swapAdjacentFactory();
+    for (std::uint32_t words : {16u, 256u, 1024u}) {
+        Stack stack(cfg);
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = words;
+        const auto res = proto.run(p);
+        ASSERT_TRUE(res.dataOk);
+        const double frac =
+            static_cast<double>(
+                res.counts.featureTotal(Feature::InOrderDelivery) +
+                res.counts.featureTotal(Feature::FaultTolerance)) /
+            static_cast<double>(res.counts.paperTotal());
+        EXPECT_GT(frac, 0.65) << words;
+        EXPECT_LT(frac, 0.75) << words;
+    }
+}
+
+TEST(Stream, BackToBackStreamsOnFreshChannels)
+{
+    Stack stack(baseConfig());
+    StreamProtocol proto(stack);
+    for (int i = 0; i < 5; ++i) {
+        StreamParams p;
+        p.words = 32;
+        p.fillSeed = static_cast<std::uint64_t>(i + 1) * 31;
+        const auto res = proto.run(p);
+        EXPECT_TRUE(res.dataOk) << "stream " << i;
+    }
+}
+
+TEST(Stream, ReverseDirectionPair)
+{
+    Stack stack(baseConfig());
+    StreamProtocol proto(stack);
+    StreamParams p;
+    p.src = 2;
+    p.dst = 0;
+    p.words = 64;
+    const auto res = proto.run(p);
+    EXPECT_TRUE(res.dataOk);
+}
+
+} // namespace
+} // namespace msgsim

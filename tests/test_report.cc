@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the report renderers: paper-shaped tables, CSV output,
+ * and formatting conventions (zero rendered as "-").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+BreakdownCounter
+sampleBreakdown()
+{
+    BreakdownCounter bd;
+    bd.src.add(Feature::BaseCost, OpClass::Reg, 14);
+    bd.src.add(Feature::BaseCost, OpClass::MemLoad, 1);
+    bd.src.add(Feature::BaseCost, OpClass::DevStore, 5);
+    bd.dst.add(Feature::BaseCost, OpClass::Reg, 22);
+    bd.dst.add(Feature::BaseCost, OpClass::DevLoad, 5);
+    bd.src.add(Feature::FaultTolerance, OpClass::Reg, 3);
+    return bd;
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"Name", "A", "B"});
+    t.addRow({"row-one", "1", "22"});
+    t.addRow({"r2", "333", "4"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| Name    |"), std::string::npos);
+    EXPECT_NE(out.find("| row-one |   1 | 22 |"), std::string::npos);
+    EXPECT_NE(out.find("| r2      | 333 |  4 |"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRendersRule)
+{
+    TextTable t({"X"});
+    t.addRow({"a"});
+    t.addSeparator();
+    t.addRow({"b"});
+    const std::string out = t.render();
+    // Expect at least 4 rules: top, under header, mid, bottom.
+    std::size_t rules = 0, pos = 0;
+    while ((pos = out.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, CsvSkipsSeparators)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addSeparator();
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Report, FmtCountDashForZero)
+{
+    EXPECT_EQ(fmtCount(0), "-");
+    EXPECT_EQ(fmtCount(42), "42");
+}
+
+TEST(Report, FeatureTableHasTotalsAndDashes)
+{
+    const std::string out =
+        featureTable("Demo", sampleBreakdown());
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("Base Cost"), std::string::npos);
+    EXPECT_NE(out.find("Buffer Mgmt."), std::string::npos);
+    // Buffer management is zero: rendered as dashes.
+    EXPECT_NE(out.find("-"), std::string::npos);
+    // Totals: src 23, dst 27, total 50.
+    EXPECT_NE(out.find("23"), std::string::npos);
+    EXPECT_NE(out.find("27"), std::string::npos);
+    EXPECT_NE(out.find("50"), std::string::npos);
+}
+
+TEST(Report, CategoryTableSplitsRegMemDev)
+{
+    const std::string out =
+        categoryTable("Demo3", sampleBreakdown());
+    EXPECT_NE(out.find("src reg"), std::string::npos);
+    EXPECT_NE(out.find("dst dev"), std::string::npos);
+    EXPECT_NE(out.find("14"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Report, RowTableFromAccounting)
+{
+    Accounting src, dst;
+    {
+        RowScope r(src, CostRow::NiSetup);
+        src.charge(OpClass::Reg, 5);
+    }
+    {
+        RowScope r(dst, CostRow::ReadNi);
+        dst.charge(OpClass::DevLoad, 3);
+    }
+    const std::string out = rowTable("T1", src, dst);
+    EXPECT_NE(out.find("NI setup"), std::string::npos);
+    EXPECT_NE(out.find("Read from NI"), std::string::npos);
+    EXPECT_NE(out.find("Total"), std::string::npos);
+}
+
+TEST(Report, CycleTableUsesWeights)
+{
+    const auto bd = sampleBreakdown();
+    const std::string unit =
+        cycleTable("W", bd, CostModel::unit());
+    const std::string cm5 = cycleTable("W", bd, CostModel::cm5());
+    // dev ops get 5x weight under cm5: totals differ.
+    EXPECT_NE(unit, cm5);
+    EXPECT_NE(cm5.find("cm5"), std::string::npos);
+}
+
+} // namespace
+} // namespace msgsim

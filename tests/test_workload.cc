@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the traffic generators, the machine-wide traffic runner,
+ * and the RPC engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocols/rpc.hh"
+#include "workload/traffic.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+TEST(TrafficGen, PermutationIsASelfFreeBijection)
+{
+    for (std::uint32_t n : {2u, 5u, 16u, 33u}) {
+        TrafficGen gen(n, TrafficPattern::Permutation, 9);
+        std::set<NodeId> seen;
+        for (NodeId i = 0; i < n; ++i) {
+            const NodeId d = gen.destFor(i);
+            EXPECT_NE(d, i) << n;
+            seen.insert(d);
+        }
+        EXPECT_EQ(seen.size(), n) << n; // bijective
+    }
+}
+
+TEST(TrafficGen, RingAndTransposeShapes)
+{
+    TrafficGen ring(8, TrafficPattern::Ring);
+    for (NodeId i = 0; i < 8; ++i)
+        EXPECT_EQ(ring.destFor(i), (i + 1) % 8);
+    TrafficGen tr(8, TrafficPattern::Transpose);
+    for (NodeId i = 0; i < 8; ++i)
+        EXPECT_EQ(tr.destFor(i), (i + 4) % 8);
+}
+
+TEST(TrafficGen, UniformNeverSelfTargets)
+{
+    TrafficGen gen(4, TrafficPattern::UniformRandom, 3);
+    for (int k = 0; k < 1000; ++k)
+        for (NodeId i = 0; i < 4; ++i)
+            EXPECT_NE(gen.destFor(i), i);
+}
+
+TEST(TrafficGen, HotspotConcentrates)
+{
+    TrafficGen gen(16, TrafficPattern::Hotspot, 5, 0.6);
+    int to0 = 0;
+    const int trials = 5000;
+    for (int k = 0; k < trials; ++k)
+        to0 += gen.destFor(7) == 0;
+    // 60% directed + ~1/16 of the uniform remainder.
+    EXPECT_NEAR(static_cast<double>(to0) / trials, 0.625, 0.04);
+}
+
+TEST(TrafficRunner, DeliversEverythingIntact)
+{
+    StackConfig cfg;
+    cfg.nodes = 8;
+    Stack stack(cfg);
+    TrafficRunner runner(stack);
+    TrafficGen gen(8, TrafficPattern::UniformRandom, 11);
+    const auto res = runner.run(gen, 16);
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.messages, 8u * 16u);
+    EXPECT_EQ(res.delivered, res.messages);
+    EXPECT_EQ(res.perNodeInstr.count(), 8u);
+}
+
+TEST(TrafficRunner, HotspotShowsImbalance)
+{
+    StackConfig cfg;
+    cfg.nodes = 16;
+    Stack stack(cfg);
+    TrafficRunner hot_runner(stack);
+    TrafficGen hot(16, TrafficPattern::Hotspot, 13, 0.8);
+    const auto hot_res = hot_runner.run(hot, 32);
+    ASSERT_TRUE(hot_res.ok);
+
+    StackConfig cfg2;
+    cfg2.nodes = 16;
+    Stack stack2(cfg2);
+    TrafficRunner perm_runner(stack2);
+    TrafficGen perm(16, TrafficPattern::Permutation, 13);
+    const auto perm_res = perm_runner.run(perm, 32);
+    ASSERT_TRUE(perm_res.ok);
+
+    EXPECT_GT(hot_res.maxOverMean, perm_res.maxOverMean + 0.5);
+    // Permutation traffic is perfectly balanced by construction.
+    EXPECT_LT(perm_res.maxOverMean, 1.1);
+}
+
+// --- RPC ------------------------------------------------------------
+
+TEST(Rpc, SynchronousCallRoundTrips)
+{
+    Stack stack(StackConfig{});
+    RpcEngine rpc(stack);
+    rpc.registerProcedure(1, 7,
+                          [](NodeId, const std::vector<Word> &req) {
+                              return std::vector<Word>{req.at(0) +
+                                                       req.at(1)};
+                          });
+    const auto reply = rpc.callSync(0, 1, 7, {40, 2});
+    ASSERT_EQ(reply.size(), 3u); // padded to the packet
+    EXPECT_EQ(reply[0], 42u);
+}
+
+TEST(Rpc, ManyOutstandingCalls)
+{
+    StackConfig cfg;
+    cfg.nodes = 4;
+    Stack stack(cfg);
+    RpcEngine rpc(stack);
+    for (NodeId s = 0; s < 4; ++s)
+        rpc.registerProcedure(s, 1,
+                              [s](NodeId caller,
+                                  const std::vector<Word> &) {
+                                  return std::vector<Word>{
+                                      s * 100 + caller};
+                              });
+    std::vector<RpcEngine::CallHandle> calls;
+    for (NodeId c = 0; c < 4; ++c)
+        for (NodeId s = 0; s < 4; ++s) {
+            if (c == s)
+                continue;
+            calls.push_back(rpc.call(c, s, 1, {}));
+        }
+    for (auto h : calls)
+        ASSERT_TRUE(rpc.wait(h));
+    // Spot-check one: caller 2 -> server 3.
+    // (calls are issued in (c,s) order; find it)
+    std::size_t idx = 0;
+    for (NodeId c = 0; c < 4; ++c)
+        for (NodeId s = 0; s < 4; ++s) {
+            if (c == s)
+                continue;
+            if (c == 2 && s == 3) {
+                EXPECT_EQ(rpc.reply(calls[idx])[0], 302u);
+            }
+            ++idx;
+        }
+}
+
+TEST(Rpc, CostIsTwoSinglePacketExchanges)
+{
+    Stack stack(StackConfig{});
+    RpcEngine rpc(stack);
+    rpc.registerProcedure(1, 1,
+                          [](NodeId, const std::vector<Word> &) {
+                              return std::vector<Word>{};
+                          });
+    const std::uint64_t before =
+        stack.node(0).acct().counter().paperTotal() +
+        stack.node(1).acct().counter().paperTotal();
+    (void)rpc.callSync(0, 1, 1, {});
+    const std::uint64_t cost =
+        stack.node(0).acct().counter().paperTotal() +
+        stack.node(1).acct().counter().paperTotal() - before;
+    // 2 x (send 20 + recv 27) + the engine's small demux charges.
+    EXPECT_GE(cost, 94u);
+    EXPECT_LE(cost, 94u + 16u);
+}
+
+TEST(Rpc, WorksAcrossJitteryNetwork)
+{
+    StackConfig cfg;
+    cfg.nodes = 4;
+    cfg.maxJitter = 30;
+    Stack stack(cfg);
+    RpcEngine rpc(stack);
+    rpc.registerProcedure(3, 9,
+                          [](NodeId, const std::vector<Word> &req) {
+                              return std::vector<Word>{req.at(0) * 2};
+                          });
+    for (Word v = 0; v < 20; ++v) {
+        const auto reply = rpc.callSync(1, 3, 9, {v});
+        EXPECT_EQ(reply[0], v * 2);
+    }
+}
+
+} // namespace
+} // namespace msgsim
