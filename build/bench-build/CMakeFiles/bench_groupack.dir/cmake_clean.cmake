@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_groupack"
+  "../bench/bench_groupack.pdb"
+  "CMakeFiles/bench_groupack.dir/bench_groupack.cc.o"
+  "CMakeFiles/bench_groupack.dir/bench_groupack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groupack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

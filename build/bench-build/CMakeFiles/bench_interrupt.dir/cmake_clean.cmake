@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_interrupt"
+  "../bench/bench_interrupt.pdb"
+  "CMakeFiles/bench_interrupt.dir/bench_interrupt.cc.o"
+  "CMakeFiles/bench_interrupt.dir/bench_interrupt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

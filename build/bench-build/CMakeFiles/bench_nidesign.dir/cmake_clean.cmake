@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nidesign"
+  "../bench/bench_nidesign.pdb"
+  "CMakeFiles/bench_nidesign.dir/bench_nidesign.cc.o"
+  "CMakeFiles/bench_nidesign.dir/bench_nidesign.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nidesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ooo"
+  "../bench/bench_ooo.pdb"
+  "CMakeFiles/bench_ooo.dir/bench_ooo.cc.o"
+  "CMakeFiles/bench_ooo.dir/bench_ooo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

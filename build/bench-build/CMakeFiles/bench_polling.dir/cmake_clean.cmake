@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_polling"
+  "../bench/bench_polling.pdb"
+  "CMakeFiles/bench_polling.dir/bench_polling.cc.o"
+  "CMakeFiles/bench_polling.dir/bench_polling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

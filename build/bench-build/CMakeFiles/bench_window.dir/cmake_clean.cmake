@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_window"
+  "../bench/bench_window.pdb"
+  "CMakeFiles/bench_window.dir/bench_window.cc.o"
+  "CMakeFiles/bench_window.dir/bench_window.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netdesign_explorer.dir/netdesign_explorer.cpp.o"
+  "CMakeFiles/netdesign_explorer.dir/netdesign_explorer.cpp.o.d"
+  "netdesign_explorer"
+  "netdesign_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netdesign_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

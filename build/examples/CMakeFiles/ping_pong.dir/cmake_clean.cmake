@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ping_pong.dir/ping_pong.cpp.o"
+  "CMakeFiles/ping_pong.dir/ping_pong.cpp.o.d"
+  "ping_pong"
+  "ping_pong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ping_pong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_channel.dir/stream_channel.cpp.o"
+  "CMakeFiles/stream_channel.dir/stream_channel.cpp.o.d"
+  "stream_channel"
+  "stream_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sim")
+subdirs("net")
+subdirs("cm5net")
+subdirs("crnet")
+subdirs("machine")
+subdirs("ni")
+subdirs("cmam")
+subdirs("hlam")
+subdirs("protocols")
+subdirs("model")
+subdirs("msglib")
+subdirs("coll")
+subdirs("workload")

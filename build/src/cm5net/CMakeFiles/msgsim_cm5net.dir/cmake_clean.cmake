@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_cm5net.dir/cm5_network.cc.o"
+  "CMakeFiles/msgsim_cm5net.dir/cm5_network.cc.o.d"
+  "libmsgsim_cm5net.a"
+  "libmsgsim_cm5net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_cm5net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

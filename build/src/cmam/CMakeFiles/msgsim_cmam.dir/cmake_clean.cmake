@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_cmam.dir/cmam.cc.o"
+  "CMakeFiles/msgsim_cmam.dir/cmam.cc.o.d"
+  "CMakeFiles/msgsim_cmam.dir/segment.cc.o"
+  "CMakeFiles/msgsim_cmam.dir/segment.cc.o.d"
+  "CMakeFiles/msgsim_cmam.dir/send_path.cc.o"
+  "CMakeFiles/msgsim_cmam.dir/send_path.cc.o.d"
+  "libmsgsim_cmam.a"
+  "libmsgsim_cmam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_cmam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

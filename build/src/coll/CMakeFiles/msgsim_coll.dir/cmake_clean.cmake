@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_coll.dir/collectives.cc.o"
+  "CMakeFiles/msgsim_coll.dir/collectives.cc.o.d"
+  "libmsgsim_coll.a"
+  "libmsgsim_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

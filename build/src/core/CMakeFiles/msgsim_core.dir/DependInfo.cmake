@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/msgsim_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/msgsim_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/counter.cc" "src/core/CMakeFiles/msgsim_core.dir/counter.cc.o" "gcc" "src/core/CMakeFiles/msgsim_core.dir/counter.cc.o.d"
+  "/root/repo/src/core/op.cc" "src/core/CMakeFiles/msgsim_core.dir/op.cc.o" "gcc" "src/core/CMakeFiles/msgsim_core.dir/op.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/msgsim_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/msgsim_core.dir/report.cc.o.d"
+  "/root/repo/src/core/row.cc" "src/core/CMakeFiles/msgsim_core.dir/row.cc.o" "gcc" "src/core/CMakeFiles/msgsim_core.dir/row.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

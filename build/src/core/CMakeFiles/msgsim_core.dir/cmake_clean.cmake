@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_core.dir/cost_model.cc.o"
+  "CMakeFiles/msgsim_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/msgsim_core.dir/counter.cc.o"
+  "CMakeFiles/msgsim_core.dir/counter.cc.o.d"
+  "CMakeFiles/msgsim_core.dir/op.cc.o"
+  "CMakeFiles/msgsim_core.dir/op.cc.o.d"
+  "CMakeFiles/msgsim_core.dir/report.cc.o"
+  "CMakeFiles/msgsim_core.dir/report.cc.o.d"
+  "CMakeFiles/msgsim_core.dir/row.cc.o"
+  "CMakeFiles/msgsim_core.dir/row.cc.o.d"
+  "libmsgsim_core.a"
+  "libmsgsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

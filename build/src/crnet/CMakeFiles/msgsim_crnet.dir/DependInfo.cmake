@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crnet/cr_network.cc" "src/crnet/CMakeFiles/msgsim_crnet.dir/cr_network.cc.o" "gcc" "src/crnet/CMakeFiles/msgsim_crnet.dir/cr_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/msgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msgsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

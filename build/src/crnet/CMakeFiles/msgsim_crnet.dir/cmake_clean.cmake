@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_crnet.dir/cr_network.cc.o"
+  "CMakeFiles/msgsim_crnet.dir/cr_network.cc.o.d"
+  "libmsgsim_crnet.a"
+  "libmsgsim_crnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_crnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msgsim_crnet.
+# This may be replaced when dependencies are built.

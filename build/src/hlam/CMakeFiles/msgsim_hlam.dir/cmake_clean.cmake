@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_hlam.dir/hl_layer.cc.o"
+  "CMakeFiles/msgsim_hlam.dir/hl_layer.cc.o.d"
+  "CMakeFiles/msgsim_hlam.dir/hl_stack.cc.o"
+  "CMakeFiles/msgsim_hlam.dir/hl_stack.cc.o.d"
+  "libmsgsim_hlam.a"
+  "libmsgsim_hlam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_hlam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

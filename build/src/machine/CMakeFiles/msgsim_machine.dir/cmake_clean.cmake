@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_machine.dir/machine.cc.o"
+  "CMakeFiles/msgsim_machine.dir/machine.cc.o.d"
+  "libmsgsim_machine.a"
+  "libmsgsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

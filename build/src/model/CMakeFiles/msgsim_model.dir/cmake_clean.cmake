@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_model.dir/analytic.cc.o"
+  "CMakeFiles/msgsim_model.dir/analytic.cc.o.d"
+  "libmsgsim_model.a"
+  "libmsgsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

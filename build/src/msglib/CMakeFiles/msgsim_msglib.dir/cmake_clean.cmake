@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_msglib.dir/msg_passing.cc.o"
+  "CMakeFiles/msgsim_msglib.dir/msg_passing.cc.o.d"
+  "libmsgsim_msglib.a"
+  "libmsgsim_msglib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_msglib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

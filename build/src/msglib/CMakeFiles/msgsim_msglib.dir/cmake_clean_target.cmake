@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsgsim_msglib.a"
+)

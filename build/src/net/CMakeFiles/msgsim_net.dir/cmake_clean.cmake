@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_net.dir/fault.cc.o"
+  "CMakeFiles/msgsim_net.dir/fault.cc.o.d"
+  "CMakeFiles/msgsim_net.dir/network.cc.o"
+  "CMakeFiles/msgsim_net.dir/network.cc.o.d"
+  "CMakeFiles/msgsim_net.dir/order.cc.o"
+  "CMakeFiles/msgsim_net.dir/order.cc.o.d"
+  "CMakeFiles/msgsim_net.dir/packet.cc.o"
+  "CMakeFiles/msgsim_net.dir/packet.cc.o.d"
+  "CMakeFiles/msgsim_net.dir/topology.cc.o"
+  "CMakeFiles/msgsim_net.dir/topology.cc.o.d"
+  "CMakeFiles/msgsim_net.dir/tracer.cc.o"
+  "CMakeFiles/msgsim_net.dir/tracer.cc.o.d"
+  "libmsgsim_net.a"
+  "libmsgsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

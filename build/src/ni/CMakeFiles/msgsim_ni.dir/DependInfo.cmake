@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ni/net_iface.cc" "src/ni/CMakeFiles/msgsim_ni.dir/net_iface.cc.o" "gcc" "src/ni/CMakeFiles/msgsim_ni.dir/net_iface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/msgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msgsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msgsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_ni.dir/net_iface.cc.o"
+  "CMakeFiles/msgsim_ni.dir/net_iface.cc.o.d"
+  "libmsgsim_ni.a"
+  "libmsgsim_ni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_ni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

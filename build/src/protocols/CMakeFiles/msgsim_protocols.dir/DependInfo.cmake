@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/finite_xfer.cc" "src/protocols/CMakeFiles/msgsim_protocols.dir/finite_xfer.cc.o" "gcc" "src/protocols/CMakeFiles/msgsim_protocols.dir/finite_xfer.cc.o.d"
+  "/root/repo/src/protocols/rpc.cc" "src/protocols/CMakeFiles/msgsim_protocols.dir/rpc.cc.o" "gcc" "src/protocols/CMakeFiles/msgsim_protocols.dir/rpc.cc.o.d"
+  "/root/repo/src/protocols/single_packet.cc" "src/protocols/CMakeFiles/msgsim_protocols.dir/single_packet.cc.o" "gcc" "src/protocols/CMakeFiles/msgsim_protocols.dir/single_packet.cc.o.d"
+  "/root/repo/src/protocols/socket.cc" "src/protocols/CMakeFiles/msgsim_protocols.dir/socket.cc.o" "gcc" "src/protocols/CMakeFiles/msgsim_protocols.dir/socket.cc.o.d"
+  "/root/repo/src/protocols/stack.cc" "src/protocols/CMakeFiles/msgsim_protocols.dir/stack.cc.o" "gcc" "src/protocols/CMakeFiles/msgsim_protocols.dir/stack.cc.o.d"
+  "/root/repo/src/protocols/stream.cc" "src/protocols/CMakeFiles/msgsim_protocols.dir/stream.cc.o" "gcc" "src/protocols/CMakeFiles/msgsim_protocols.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cmam/CMakeFiles/msgsim_cmam.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm5net/CMakeFiles/msgsim_cm5net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crnet/CMakeFiles/msgsim_crnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/msgsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ni/CMakeFiles/msgsim_ni.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/msgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msgsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_protocols.dir/finite_xfer.cc.o"
+  "CMakeFiles/msgsim_protocols.dir/finite_xfer.cc.o.d"
+  "CMakeFiles/msgsim_protocols.dir/rpc.cc.o"
+  "CMakeFiles/msgsim_protocols.dir/rpc.cc.o.d"
+  "CMakeFiles/msgsim_protocols.dir/single_packet.cc.o"
+  "CMakeFiles/msgsim_protocols.dir/single_packet.cc.o.d"
+  "CMakeFiles/msgsim_protocols.dir/socket.cc.o"
+  "CMakeFiles/msgsim_protocols.dir/socket.cc.o.d"
+  "CMakeFiles/msgsim_protocols.dir/stack.cc.o"
+  "CMakeFiles/msgsim_protocols.dir/stack.cc.o.d"
+  "CMakeFiles/msgsim_protocols.dir/stream.cc.o"
+  "CMakeFiles/msgsim_protocols.dir/stream.cc.o.d"
+  "libmsgsim_protocols.a"
+  "libmsgsim_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

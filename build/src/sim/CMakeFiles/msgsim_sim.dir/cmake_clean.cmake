@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_sim.dir/event.cc.o"
+  "CMakeFiles/msgsim_sim.dir/event.cc.o.d"
+  "CMakeFiles/msgsim_sim.dir/log.cc.o"
+  "CMakeFiles/msgsim_sim.dir/log.cc.o.d"
+  "libmsgsim_sim.a"
+  "libmsgsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgsim_workload.dir/traffic.cc.o"
+  "CMakeFiles/msgsim_workload.dir/traffic.cc.o.d"
+  "libmsgsim_workload.a"
+  "libmsgsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

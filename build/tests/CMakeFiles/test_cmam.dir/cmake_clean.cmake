@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmam.dir/test_cmam.cc.o"
+  "CMakeFiles/test_cmam.dir/test_cmam.cc.o.d"
+  "test_cmam"
+  "test_cmam.pdb"
+  "test_cmam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_substrate.dir/test_cross_substrate.cc.o"
+  "CMakeFiles/test_cross_substrate.dir/test_cross_substrate.cc.o.d"
+  "test_cross_substrate"
+  "test_cross_substrate.pdb"
+  "test_cross_substrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_mode.dir/test_event_mode.cc.o"
+  "CMakeFiles/test_event_mode.dir/test_event_mode.cc.o.d"
+  "test_event_mode"
+  "test_event_mode.pdb"
+  "test_event_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

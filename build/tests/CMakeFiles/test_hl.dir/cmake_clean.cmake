@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hl.dir/test_hl.cc.o"
+  "CMakeFiles/test_hl.dir/test_hl.cc.o.d"
+  "test_hl"
+  "test_hl.pdb"
+  "test_hl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_props.dir/test_model_props.cc.o"
+  "CMakeFiles/test_model_props.dir/test_model_props.cc.o.d"
+  "test_model_props"
+  "test_model_props.pdb"
+  "test_model_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

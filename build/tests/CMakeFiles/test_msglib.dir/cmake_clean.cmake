@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msglib.dir/test_msglib.cc.o"
+  "CMakeFiles/test_msglib.dir/test_msglib.cc.o.d"
+  "test_msglib"
+  "test_msglib.pdb"
+  "test_msglib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msglib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socket.dir/test_socket.cc.o"
+  "CMakeFiles/test_socket.dir/test_socket.cc.o.d"
+  "test_socket"
+  "test_socket.pdb"
+  "test_socket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

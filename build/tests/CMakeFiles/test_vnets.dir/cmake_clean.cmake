@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vnets.dir/test_vnets.cc.o"
+  "CMakeFiles/test_vnets.dir/test_vnets.cc.o.d"
+  "test_vnets"
+  "test_vnets.pdb"
+  "test_vnets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vnets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

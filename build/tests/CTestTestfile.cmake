@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_counter[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_networks[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_cmam[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_hl[1]_include.cmake")
+include("/root/repo/build/tests/test_model_vs_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_event_mode[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_msglib[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_bandwidth[1]_include.cmake")
+include("/root/repo/build/tests/test_tracer[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_costs[1]_include.cmake")
+include("/root/repo/build/tests/test_model_props[1]_include.cmake")
+include("/root/repo/build/tests/test_vnets[1]_include.cmake")
+include("/root/repo/build/tests/test_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+include("/root/repo/build/tests/test_socket[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_substrate[1]_include.cmake")
