@@ -10,9 +10,16 @@
 #include <string>
 
 #include "protocols/stack.hh"
+#include "sim/obs_cli.hh"
 
 namespace msgsim::bench
 {
+
+// Re-exported so every bench/example can accept --trace-out= /
+// --metrics-out= with one include (see sim/obs_cli.hh).
+using obs::Options;   // NOLINT(misc-unused-using-decls)
+using obs::parseArgs; // NOLINT(misc-unused-using-decls)
+using ObsScope = obs::Scope;
 
 /** The paper's measurement setup: CM-5 substrate, n = 4. */
 inline StackConfig

@@ -6,7 +6,13 @@
  * ack) and once over the high-level-features stack (just send it),
  * then compares the bills.
  *
- *   $ ./bulk_transfer [words]
+ *   $ ./bulk_transfer [words] [--trace-out=trace.json]
+ *                             [--metrics-out=metrics.json]
+ *
+ * With --trace-out the run records cross-layer spans (protocol
+ * steps, CMAM send/poll, NI events) plus the hardware packet events
+ * from a PacketTracer bridged onto the same timeline, and writes a
+ * Chrome trace-event JSON loadable in Perfetto.
  */
 
 #include <cstdio>
@@ -14,13 +20,16 @@
 
 #include "core/report.hh"
 #include "hlam/hl_stack.hh"
+#include "net/tracer.hh"
 #include "protocols/finite_xfer.hh"
+#include "sim/obs_cli.hh"
 
 using namespace msgsim;
 
 int
 main(int argc, char **argv)
 {
+    const obs::Options obsOpts = obs::parseArgs(argc, argv);
     std::uint32_t words = 1024;
     if (argc > 1)
         words = static_cast<std::uint32_t>(std::atoi(argv[1]));
@@ -32,11 +41,19 @@ main(int argc, char **argv)
     std::printf("bulk transfer of %u words (%u packets)\n\n", words,
                 words / 4);
 
+    obs::Scope scope(obsOpts);
+
     // --- CMAM on the CM-5-like network --------------------------
     StackConfig cfg;
     cfg.nodes = 2;
     cfg.memWords = 1u << 24;
     Stack cm5(cfg);
+    PacketTracer tracer(1u << 14);
+    if (scope.tracing()) {
+        scope.bindClock(cm5.sim());
+        cm5.network().setTracer(&tracer);
+        attachTraceBridge(tracer, *scope.session());
+    }
     FiniteXfer proto(cm5);
     FiniteXferParams p;
     p.words = words;
@@ -47,12 +64,23 @@ main(int argc, char **argv)
                                    rc.counts)
                           .c_str());
     std::printf("integrity: %s\n\n", rc.dataOk ? "ok" : "FAILED");
+    scope.collect(cm5.sim(), "sim.cm5");
+    for (NodeId id = 0; id < 2; ++id)
+        cm5.node(id).ni().publishMetrics(scope.metrics(), "ni.cm5");
 
     // --- High-level features on the CR network ------------------
     HlStackConfig hcfg;
     hcfg.nodes = 2;
     hcfg.memWords = 1u << 24;
     HlStack hl(hcfg);
+    PacketTracer hlTracer(1u << 14);
+    if (scope.tracing()) {
+        // The second stack has its own simulator: rebind the trace
+        // clock so its spans stay on a consistent timeline.
+        scope.bindClock(hl.sim());
+        hl.machine().network().setTracer(&hlTracer);
+        attachTraceBridge(hlTracer, *scope.session());
+    }
     HlXferParams hp;
     hp.words = words;
     const auto rh = runHlFinite(hl, hp);
@@ -62,6 +90,9 @@ main(int argc, char **argv)
                                    rh.counts)
                           .c_str());
     std::printf("integrity: %s\n\n", rh.dataOk ? "ok" : "FAILED");
+    scope.collect(hl.sim(), "sim.hl");
+    for (NodeId id = 0; id < 2; ++id)
+        hl.node(id).ni().publishMetrics(scope.metrics(), "ni.hl");
 
     const double imp =
         1.0 - static_cast<double>(rh.counts.paperTotal()) /

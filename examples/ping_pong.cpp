@@ -6,20 +6,26 @@
  * Reports per-round-trip software instruction cost and simulated
  * latency versus message size, on both substrates' cost models.
  *
- *   $ ./ping_pong [rounds]
+ *   $ ./ping_pong [rounds] [--trace-out=trace.json]
+ *                          [--metrics-out=metrics.json]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/cost_model.hh"
 #include "msglib/msg_passing.hh"
+#include "net/tracer.hh"
+#include "sim/obs_cli.hh"
 
 using namespace msgsim;
 
 int
 main(int argc, char **argv)
 {
+    const obs::Options obsOpts = obs::parseArgs(argc, argv);
+    obs::Scope scope(obsOpts);
     int rounds = 8;
     if (argc > 1)
         rounds = std::atoi(argv[1]);
@@ -31,6 +37,14 @@ main(int argc, char **argv)
         cfg.nodes = 2;
         cfg.memWords = 1u << 24;
         Stack stack(cfg);
+        PacketTracer tracer(1u << 14);
+        if (scope.tracing()) {
+            // One stack per message size: rebind the clock and bridge
+            // the hardware events of the current network.
+            scope.bindClock(stack.sim());
+            stack.network().setTracer(&tracer);
+            attachTraceBridge(tracer, *scope.session());
+        }
         MsgPassing mp(stack);
         Node &a = stack.node(0);
         Node &b = stack.node(1);
@@ -69,6 +83,8 @@ main(int argc, char **argv)
         std::printf("%8u  %14llu  %14.0f  %12.0f%s\n", words,
                     static_cast<unsigned long long>(instr), cycles,
                     ticks, ok ? "" : "  [FAILED]");
+        scope.collect(stack.sim(), "sim.w" + std::to_string(words));
+        stack.network().setTracer(nullptr);
     }
     std::printf("\neach round trip = 2 x (rendezvous handshake + "
                 "offset-stamped data + end-to-end ack) on the "

@@ -2,6 +2,7 @@
 
 #include "cmam/send_path.hh"
 #include "sim/log.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -90,6 +91,7 @@ Cmam::xferSend(NodeId dst, Word segId, Addr srcBuf, std::uint32_t words)
     Accounting &a = p.acct();
     NetIface &ni = node_.ni();
     const int n = dataWords();
+    ScopedSpan span(node_.id(), "cmam", "xfer_send");
 
     chargeSyscall();
     if (words == 0 || words % static_cast<std::uint32_t>(n) != 0)
@@ -167,6 +169,7 @@ Cmam::xferSendDma(NodeId dst, Word segId, Addr srcBuf,
     Accounting &a = p.acct();
     NetIface &ni = node_.ni();
     const int n = dataWords();
+    ScopedSpan span(node_.id(), "cmam", "xfer_send_dma");
 
     chargeSyscall();
     if (words == 0 || words % static_cast<std::uint32_t>(n) != 0)
@@ -227,6 +230,7 @@ Cmam::poll()
 {
     Processor &p = node_.proc();
     Accounting &a = p.acct();
+    ScopedSpan span(node_.id(), "cmam", "poll");
 
     chargeSyscall();
     // CMAM_request_poll linkage: call, save, ret.
@@ -242,6 +246,7 @@ Cmam::interruptService()
 {
     Processor &p = node_.proc();
     Accounting &a = p.acct();
+    ScopedSpan span(node_.id(), "cmam", "interrupt");
 
     // Trap entry/exit: register-window spill and fill, PSR/PC save
     // and restore, trap-table vectoring — plus the interrupt

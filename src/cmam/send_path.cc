@@ -2,6 +2,7 @@
 
 #include "core/row.hh"
 #include "sim/log.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -15,6 +16,7 @@ singlePacketSend(Node &node, Addr niBaseAddr, HwTag tag, NodeId dst,
     Accounting &a = p.acct();
     NetIface &ni = node.ni();
     const int n = lenWords;
+    ScopedSpan span(node.id(), "cmam", "send_packet");
 
     if (n > ni.dataWords())
         msgsim_fatal("packet length ", n, " exceeds hardware packet "
@@ -83,6 +85,8 @@ singlePacketSend(Node &node, Addr niBaseAddr, HwTag tag, NodeId dst,
             break;
         // Injection refused (network busy): software re-pushes the
         // whole packet.  Off the calibrated minimum path.
+        if (TraceSession *ts = TraceSession::current())
+            ts->instant(node.id(), "cmam", "send_busy");
     }
 }
 

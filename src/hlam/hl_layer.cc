@@ -3,6 +3,7 @@
 #include "cmam/send_path.hh"
 #include "core/row.hh"
 #include "sim/log.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -37,6 +38,7 @@ HlLayer::xferSend(NodeId dst, Word tid, Addr srcBuf, std::uint32_t words)
     Accounting &a = p.acct();
     NetIface &ni = node_.ni();
     const int n = dataWords();
+    ScopedSpan span(node_.id(), "hl", "xfer_send");
 
     if (words == 0 || words % static_cast<std::uint32_t>(n) != 0)
         msgsim_fatal("hl xfer of ", words,
@@ -100,6 +102,7 @@ HlLayer::xferSend(NodeId dst, Word tid, Addr srcBuf, std::uint32_t words)
 void
 HlLayer::streamSend(NodeId dst, Word chan, const std::vector<Word> &data)
 {
+    ScopedSpan span(node_.id(), "hl", "stream_send");
     singlePacketSend(node_, niBaseAddr_, HwTag::StreamData, dst,
                      hdr::pack(chan, 0), data, dataWords());
 }
@@ -110,6 +113,7 @@ HlLayer::poll()
     Processor &p = node_.proc();
     Accounting &a = p.acct();
     NetIface &ni = node_.ni();
+    ScopedSpan span(node_.id(), "hl", "poll");
 
     {
         RowScope r(a, CostRow::CallReturn);

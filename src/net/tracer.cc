@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/trace_session.hh"
+
 namespace msgsim
 {
 
@@ -60,13 +62,19 @@ PacketTracer::record(Tick when, TraceEvent ev, const Packet &pkt)
     }
     head_ = (head_ + 1) % capacity_;
     ++observed_;
-    ++perEvent_[static_cast<std::size_t>(ev)];
+    const auto evIdx = static_cast<std::size_t>(ev);
+    if (evIdx >= perEvent_.size())
+        perEvent_.resize(evIdx + 1, 0);
+    ++perEvent_[evIdx];
+    if (observer_)
+        observer_(rec);
 }
 
 std::uint64_t
 PacketTracer::observed(TraceEvent ev) const
 {
-    return perEvent_[static_cast<std::size_t>(ev)];
+    const auto evIdx = static_cast<std::size_t>(ev);
+    return evIdx < perEvent_.size() ? perEvent_[evIdx] : 0;
 }
 
 std::vector<TraceRecord>
@@ -109,6 +117,19 @@ PacketTracer::clear()
     ring_.clear();
     head_ = 0;
     wrapped_ = false;
+}
+
+void
+attachTraceBridge(PacketTracer &tracer, TraceSession &session)
+{
+    tracer.setObserver([&session](const TraceRecord &rec) {
+        // Injections happen at the source; delivery-side events land
+        // on the destination's track.
+        const NodeId node =
+            rec.event == TraceEvent::Inject ? rec.src : rec.dst;
+        session.instantAt(rec.when, node, "hw", toString(rec.event),
+                          static_cast<double>(rec.injectSeq));
+    });
 }
 
 } // namespace msgsim

@@ -54,16 +54,24 @@ struct TraceRecord
     std::string format() const;
 };
 
+class TraceSession;
+
 /**
  * Bounded ring of packet events.
  */
 class PacketTracer
 {
   public:
+    /** Callback fired synchronously for every recorded event. */
+    using Observer = std::function<void(const TraceRecord &)>;
+
     explicit PacketTracer(std::size_t capacity = 1u << 16);
 
     /** Record one event (oldest entries are evicted when full). */
     void record(Tick when, TraceEvent ev, const Packet &pkt);
+
+    /** Install / clear (nullptr) the per-event observer. */
+    void setObserver(Observer fn) { observer_ = std::move(fn); }
 
     /** Total events observed (including evicted ones). */
     std::uint64_t observed() const { return observed_; }
@@ -91,7 +99,17 @@ class PacketTracer
     bool wrapped_ = false;
     std::uint64_t observed_ = 0;
     std::vector<std::uint64_t> perEvent_;
+    Observer observer_;
 };
+
+/**
+ * Bridge hardware packet events onto a TraceSession timeline: every
+ * recorded event becomes an instant on the involved node's track
+ * (injections on the source, everything else on the destination),
+ * at the hardware event's own tick.  Detach by clearing the
+ * tracer's observer.
+ */
+void attachTraceBridge(PacketTracer &tracer, TraceSession &session);
 
 } // namespace msgsim
 

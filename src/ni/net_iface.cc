@@ -2,6 +2,8 @@
 
 #include "machine/memory.hh"
 #include "sim/log.hh"
+#include "sim/metrics.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -206,25 +208,57 @@ NetIface::dmaScatterRecv(Accounting &acct, Addr dst)
 bool
 NetIface::hwDeliver(Packet &&pkt)
 {
+    TraceSession *ts = TraceSession::current();
     // Hardware CRC check: detection without correction.  A bad packet
     // is consumed and discarded; software only notices the loss.
     if (!pkt.checksumOk()) {
         ++crcDiscards_;
+        if (ts)
+            ts->instant(id_, "ni", "crc_discard");
         return true;
     }
     if (acceptFn_ && !acceptFn_(pkt)) {
         ++acceptRefusals_;
+        if (ts)
+            ts->instant(id_, "ni", "accept_refusal");
         return false;
     }
     auto &queue = recvQueues_[pkt.vnet % numVnets];
     if (queue.size() >= cfg_.recvCapacity) {
         ++recvRefusals_;
+        if (ts)
+            ts->instant(id_, "ni", "recv_refusal");
         return false;
     }
     queue.push_back(std::move(pkt));
+    if (ts) {
+        std::size_t depth = 0;
+        for (const auto &q : recvQueues_)
+            depth += q.size();
+        ts->counterSample(id_, "ni.recv_depth",
+                          static_cast<double>(depth));
+    }
     if (arrivalHook_)
         arrivalHook_();
     return true;
+}
+
+void
+NetIface::publishMetrics(MetricsRegistry &reg,
+                         const std::string &prefix) const
+{
+    const MetricsRegistry::Labels labels = {
+        {"node", std::to_string(id_)}};
+    reg.counter(prefix + ".crc_discards", labels) = crcDiscards_;
+    reg.counter(prefix + ".recv_refusals", labels) = recvRefusals_;
+    reg.counter(prefix + ".accept_refusals", labels) = acceptRefusals_;
+    reg.counter(prefix + ".send_busy_events", labels) = sendBusyEvents_;
+    reg.counter(prefix + ".dma_transfers", labels) = dmaTransfers_;
+    std::size_t depth = 0;
+    for (const auto &q : recvQueues_)
+        depth += q.size();
+    reg.gauge(prefix + ".recv_depth", labels) =
+        static_cast<double>(depth);
 }
 
 } // namespace msgsim

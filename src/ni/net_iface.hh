@@ -41,6 +41,7 @@ namespace msgsim
 {
 
 class Memory;
+class MetricsRegistry;
 
 /** Status-register bit assignments. */
 namespace ni_status
@@ -213,6 +214,13 @@ class NetIface
     {
         arrivalHook_ = std::move(fn);
     }
+
+    /**
+     * Snapshot this NI's hardware counters into @p reg under
+     * "<prefix>.<counter>{node=<id>}".
+     */
+    void publishMetrics(MetricsRegistry &reg,
+                        const std::string &prefix = "ni") const;
 
   private:
     /** Launch the staged packet once it is fully written. */

@@ -2,6 +2,7 @@
 
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -57,11 +58,17 @@ FiniteXfer::onAllocReq(NodeId dstNode, NodeId srcNode, Word transferId,
     }
 
     const Word expected_packets = args.empty() ? 0 : args[0];
-    const Word seg =
-        cm.segments().alloc(node.proc(), t.dstBuf, expected_packets);
+    Word seg;
+    {
+        // Step 2: allocate the communication segment.
+        ScopedSpan sp(dstNode, "finite_xfer", "seg_alloc");
+        seg = cm.segments().alloc(node.proc(), t.dstBuf,
+                                  expected_packets);
+    }
     if (seg == invalidSegment) {
         // Overflow safety: no segment available; tell the source to
         // back off (paper Section 2.3's over-commitment avoidance).
+        ScopedSpan sp(dstNode, "finite_xfer", "alloc_reply");
         cm.sendControl(srcNode, CtrlOp::XferAllocReply, transferId,
                        {invalidSegment}, /*vnet=*/1);
         return;
@@ -75,20 +82,25 @@ FiniteXfer::onAllocReq(NodeId dstNode, NodeId srcNode, Word transferId,
             {
                 // Step 5: release the communication segment.
                 FeatureScope f1(nd.acct(), Feature::BufferMgmt);
+                ScopedSpan sp(dstNode, "finite_xfer", "seg_free");
                 c.segments().free(nd.proc(), segId);
             }
             dstSegments_.erase(std::make_pair(dstNode, transferId));
             {
                 // Step 6: end-to-end acknowledgement.
                 FeatureScope f2(nd.acct(), Feature::FaultTolerance);
+                ScopedSpan sp(dstNode, "finite_xfer", "ack");
                 c.sendControl(srcNode, CtrlOp::XferAck, transferId, {},
                               /*vnet=*/1);
             }
         });
 
     // Step 3: reply with the segment id.
-    cm.sendControl(srcNode, CtrlOp::XferAllocReply, transferId,
-                   {seg}, /*vnet=*/1);
+    {
+        ScopedSpan sp(dstNode, "finite_xfer", "alloc_reply");
+        cm.sendControl(srcNode, CtrlOp::XferAllocReply, transferId,
+                       {seg}, /*vnet=*/1);
+    }
 }
 
 void
@@ -142,8 +154,14 @@ FiniteXfer::armTimer(Word transferId, const FiniteXferParams &params)
         Node &s = stack_.node(t.src);
         FeatureScope fs(s.acct(), Feature::FaultTolerance);
         t.gotReply = false;
-        stack_.cmam(t.src).sendControl(t.dst, CtrlOp::XferAllocReq,
-                                       transferId, {t.packets});
+        if (TraceSession *ts = TraceSession::current())
+            ts->instant(t.src, "finite_xfer", "restart",
+                        static_cast<double>(t.restarts));
+        {
+            ScopedSpan sp(t.src, "finite_xfer", "alloc_req");
+            stack_.cmam(t.src).sendControl(t.dst, CtrlOp::XferAllocReq,
+                                           transferId, {t.packets});
+        }
         armTimer(transferId, params);
     });
 }
@@ -156,6 +174,7 @@ FiniteXfer::sendData(Word transferId)
     const Feature feat =
         t.restarts ? Feature::FaultTolerance : Feature::BaseCost;
     FeatureScope fs(s.acct(), feat);
+    ScopedSpan sp(t.src, "finite_xfer", "data");
     if (t.dma)
         stack_.cmam(t.src).xferSendDma(t.dst, t.segId, t.srcBuf,
                                        t.words);
@@ -213,6 +232,7 @@ FiniteXfer::run(const FiniteXferParams &params)
         {
             // Step 1.
             FeatureScope fs(src.acct(), Feature::BufferMgmt);
+            ScopedSpan sp(params.src, "finite_xfer", "alloc_req");
             csrc.sendControl(params.dst, CtrlOp::XferAllocReq, tid,
                              {t.packets});
         }
@@ -232,6 +252,7 @@ FiniteXfer::run(const FiniteXferParams &params)
         {
             // Step 4, source side.
             FeatureScope fs(src.acct(), Feature::BaseCost);
+            ScopedSpan sp(params.src, "finite_xfer", "data");
             if (t.dma)
                 csrc.xferSendDma(params.dst, t.segId, t.srcBuf,
                                  params.words);
@@ -265,6 +286,7 @@ FiniteXfer::run(const FiniteXferParams &params)
         });
         {
             FeatureScope fs(src.acct(), Feature::BufferMgmt);
+            ScopedSpan sp(params.src, "finite_xfer", "alloc_req");
             csrc.sendControl(params.dst, CtrlOp::XferAllocReq, tid,
                              {t.packets});
         }

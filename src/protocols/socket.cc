@@ -1,12 +1,14 @@
 #include "protocols/socket.hh"
 
+#include "sim/trace_session.hh"
+
 namespace msgsim
 {
 
 StreamSocket::StreamSocket(StreamProtocol &proto, NodeId src,
                            NodeId dst, OnData onData,
                            const Options &opts)
-    : proto_(proto)
+    : proto_(proto), src_(src)
 {
     chan_ = proto_.openPersistent(
         src, dst, opts.groupAck, opts.ringPackets,
@@ -25,6 +27,7 @@ StreamSocket::~StreamSocket()
 void
 StreamSocket::write(const std::vector<Word> &words)
 {
+    ScopedSpan span(src_, "socket", "write");
     proto_.sendOn(chan_, words);
     packetsWritten_ += words.size() /
                        static_cast<std::size_t>(proto_.packetWords());
@@ -33,6 +36,7 @@ StreamSocket::write(const std::vector<Word> &words)
 void
 StreamSocket::flush()
 {
+    ScopedSpan span(src_, "socket", "flush");
     proto_.flushChannel(chan_);
 }
 

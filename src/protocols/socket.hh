@@ -84,6 +84,7 @@ class StreamSocket
 
   private:
     StreamProtocol &proto_;
+    NodeId src_ = invalidNode;
     Word chan_ = 0;
     std::uint64_t packetsWritten_ = 0;
 };

@@ -3,6 +3,7 @@
 #include "cmam/send_path.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -132,6 +133,7 @@ StreamProtocol::sendPacket(Channel &ch, const std::vector<Word> &data)
     Processor &p = s.proc();
     Accounting &a = p.acct();
     const int n = stack_.dataWords();
+    ScopedSpan span(ch.src, "stream", "send_data");
 
     std::uint32_t seq;
     {
@@ -181,6 +183,7 @@ StreamProtocol::retransmit(Channel &ch, std::uint32_t seq)
     Processor &p = s.proc();
     Accounting &a = p.acct();
     const int n = stack_.dataWords();
+    ScopedSpan span(ch.src, "stream", "retransmit");
 
     FeatureScope ft(a, Feature::FaultTolerance);
     // Reload the payload from the retransmission ring and resend.
@@ -208,6 +211,7 @@ StreamProtocol::onStreamData(NodeId self, NodeId pktSrc)
     Accounting &a = p.acct();
     NetIface &ni = nd.ni();
     const int n = stack_.dataWords();
+    ScopedSpan span(self, "stream", "recv_data");
 
     // Base cost: header and payload extraction plus dispatch; the
     // poll loop already charged its per-iteration status/branch cost.
@@ -297,6 +301,7 @@ StreamProtocol::insertReorder(Channel &ch, std::uint32_t seq,
     Processor &p = nd.proc();
     Accounting &a = p.acct();
     const int n = stack_.dataWords();
+    ScopedSpan span(ch.dst, "stream", "reorder_insert");
 
     // Out-of-order buffering (13 reg + (9 + n/2) mem): pop a slot
     // from the arena free list, fill it, and link it into the
@@ -342,6 +347,7 @@ StreamProtocol::drainReorder(Channel &ch)
     // (10 + n/2) mem per drained packet.
     while (!ch.pending.empty() &&
            ch.pending.begin()->first == ch.expected) {
+        ScopedSpan span(ch.dst, "stream", "reorder_drain");
         FeatureScope io(a, Feature::InOrderDelivery);
         const auto [seq, slot] = *ch.pending.begin();
         ch.pending.erase(ch.pending.begin());
@@ -377,6 +383,7 @@ StreamProtocol::ackArrival(Channel &ch, std::uint32_t seq)
     Node &nd = dstNode(ch);
     Processor &p = nd.proc();
     Accounting &a = p.acct();
+    ScopedSpan span(ch.dst, "stream", "send_ack");
 
     FeatureScope ft(a, Feature::FaultTolerance);
     if (ch.groupAck <= 1) {
@@ -424,6 +431,7 @@ StreamProtocol::onStreamAck(NodeId self, NodeId pktSrc)
     Processor &p = nd.proc();
     Accounting &a = p.acct();
     NetIface &ni = nd.ni();
+    ScopedSpan span(self, "stream", "recv_ack");
     // Acks are 4-word control-format packets at any hardware size.
     const int n = static_cast<int>(ni.hwPeekRecv()->data.size());
 

@@ -1,5 +1,8 @@
 #include "sim/event.hh"
 
+#include "sim/metrics.hh"
+#include "sim/trace_session.hh"
+
 namespace msgsim
 {
 
@@ -10,9 +13,32 @@ Simulator::step()
         return false;
     Tick when = 0;
     auto action = queue_.pop(when);
+    if (when != now_)
+        ++tickAdvances_;
     now_ = when;
+    ++eventsDispatched_;
+    const std::size_t depth = queue_.size();
+    if (depth > maxQueueDepth_)
+        maxQueueDepth_ = depth;
+    if (TraceSession *ts = TraceSession::current()) {
+        if (ts->clockIs(this))
+            ts->counterSample("sim.queue_depth",
+                              static_cast<double>(depth));
+    }
     action();
     return true;
+}
+
+void
+Simulator::publishMetrics(MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.counter(prefix + ".events_dispatched") = eventsDispatched_;
+    reg.counter(prefix + ".events_scheduled") = eventsScheduled();
+    reg.counter(prefix + ".tick_advances") = tickAdvances_;
+    reg.gauge(prefix + ".max_queue_depth") =
+        static_cast<double>(maxQueueDepth_);
+    reg.gauge(prefix + ".now") = static_cast<double>(now_);
 }
 
 std::uint64_t

@@ -16,11 +16,15 @@
 #include <queue>
 #include <vector>
 
+#include <string>
+
 #include "core/types.hh"
 #include "sim/log.hh"
 
 namespace msgsim
 {
+
+class MetricsRegistry;
 
 /**
  * Time-ordered queue of scheduled actions.
@@ -36,6 +40,9 @@ class EventQueue
     {
         heap_.push(Entry{when, nextSeq_++, std::move(action)});
     }
+
+    /** Events scheduled over the queue's lifetime. */
+    std::uint64_t scheduled() const { return nextSeq_; }
 
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
@@ -144,11 +151,40 @@ class Simulator
         now_ = when;
     }
 
+    // ------------------------------------------------------------
+    // Observability.  Raw counters are always maintained (a handful
+    // of integer ops per event); richer hooks fire only when a
+    // TraceSession is attached and bound to this simulator's clock.
+    // None of this touches instruction accounting.
+    // ------------------------------------------------------------
+
+    /** Events dispatched over the simulator's lifetime. */
+    std::uint64_t eventsDispatched() const { return eventsDispatched_; }
+
+    /** Events scheduled over the simulator's lifetime. */
+    std::uint64_t eventsScheduled() const { return queue_.scheduled(); }
+
+    /** Clock advances (dispatches whose tick moved time forward). */
+    std::uint64_t tickAdvances() const { return tickAdvances_; }
+
+    /** High-water mark of the pending-event queue depth. */
+    std::size_t maxQueueDepth() const { return maxQueueDepth_; }
+
+    /**
+     * Snapshot the event-loop counters into @p reg under
+     * "<prefix>.events_dispatched" etc.
+     */
+    void publishMetrics(MetricsRegistry &reg,
+                        const std::string &prefix = "sim") const;
+
   private:
     bool step();
 
     Tick now_ = 0;
     EventQueue queue_;
+    std::uint64_t eventsDispatched_ = 0;
+    std::uint64_t tickAdvances_ = 0;
+    std::size_t maxQueueDepth_ = 0;
 };
 
 } // namespace msgsim

@@ -1,0 +1,81 @@
+#include "sim/obs_cli.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "sim/event.hh"
+#include "sim/log.hh"
+
+namespace msgsim::obs
+{
+
+Options
+parseArgs(int &argc, char **argv)
+{
+    Options opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            opts.traceOut = arg + 12;
+        } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+            opts.metricsOut = arg + 14;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+Scope::Scope(const Options &opts) : opts_(opts)
+{
+    if (!opts_.traceOut.empty()) {
+        session_ = std::make_unique<TraceSession>();
+        session_->attach();
+    }
+}
+
+Scope::~Scope()
+{
+    if (session_) {
+        // Phase counters double as metrics so a single --metrics-out
+        // run still reports how often each protocol step ran.
+        MetricsRegistry &reg = metrics();
+        for (const auto &[key, count] : session_->spanCounts())
+            reg.counter("trace.span." + key) = count;
+        reg.counter("trace.records_observed") = session_->observed();
+        reg.counter("trace.records_dropped") = session_->dropped();
+
+        if (session_->writeChromeTrace(opts_.traceOut))
+            msgsim_inform("trace written to ", opts_.traceOut);
+        else
+            msgsim_warn("could not write trace to ", opts_.traceOut);
+        session_->detach();
+    }
+    if (!opts_.metricsOut.empty()) {
+        std::ofstream out(opts_.metricsOut);
+        if (out) {
+            out << metrics().dumpJson();
+            msgsim_inform("metrics written to ", opts_.metricsOut);
+        } else {
+            msgsim_warn("could not write metrics to ",
+                        opts_.metricsOut);
+        }
+    }
+}
+
+void
+Scope::bindClock(const Simulator &sim)
+{
+    if (session_)
+        session_->bindClock(&sim);
+}
+
+void
+Scope::collect(const Simulator &sim, const std::string &prefix)
+{
+    sim.publishMetrics(metrics(), prefix);
+}
+
+} // namespace msgsim::obs

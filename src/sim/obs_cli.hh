@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Command-line wiring for the observability layer.
+ *
+ * Benches and examples accept
+ *
+ *     --trace-out=<file>     write a Chrome trace-event JSON timeline
+ *     --metrics-out=<file>   write the metrics registry as JSON
+ *
+ * parseArgs() strips those flags from argv (leaving positional
+ * arguments untouched) and Scope turns them into an attached
+ * TraceSession plus an end-of-run dump:
+ *
+ *     int main(int argc, char **argv) {
+ *         auto obs = msgsim::obs::parseArgs(argc, argv);
+ *         msgsim::obs::Scope scope(obs);
+ *         ...
+ *         scope.bindClock(stack.sim());       // timestamps
+ *         ...
+ *         scope.collect(stack.sim(), "sim");  // event-loop metrics
+ *     }   // <- files written here
+ */
+
+#ifndef MSGSIM_SIM_OBS_CLI_HH
+#define MSGSIM_SIM_OBS_CLI_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/metrics.hh"
+#include "sim/trace_session.hh"
+
+namespace msgsim
+{
+
+class Simulator;
+
+namespace obs
+{
+
+/** Parsed observability options. */
+struct Options
+{
+    std::string traceOut;   ///< --trace-out=<file> (empty = off)
+    std::string metricsOut; ///< --metrics-out=<file> (empty = off)
+
+    bool
+    wanted() const
+    {
+        return !traceOut.empty() || !metricsOut.empty();
+    }
+};
+
+/**
+ * Extract --trace-out= / --metrics-out= from argv, compacting the
+ * remaining arguments (argc is updated in place).
+ */
+Options parseArgs(int &argc, char **argv);
+
+/**
+ * RAII wiring: owns the TraceSession (attached for the scope's
+ * lifetime when tracing was requested) and writes the requested
+ * output files on destruction.
+ */
+class Scope
+{
+  public:
+    explicit Scope(const Options &opts);
+    ~Scope();
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+    /** True when a trace session is attached. */
+    bool tracing() const { return session_ != nullptr; }
+
+    /** The owned session (nullptr when tracing is off). */
+    TraceSession *session() { return session_.get(); }
+
+    /** The registry the metrics dump will serialize. */
+    MetricsRegistry &metrics() { return MetricsRegistry::global(); }
+
+    /** Bind the trace clock to @p sim (rebind when switching stacks). */
+    void bindClock(const Simulator &sim);
+
+    /** Snapshot @p sim's event-loop counters into the registry. */
+    void collect(const Simulator &sim,
+                 const std::string &prefix = "sim");
+
+  private:
+    Options opts_;
+    std::unique_ptr<TraceSession> session_;
+};
+
+} // namespace obs
+} // namespace msgsim
+
+#endif // MSGSIM_SIM_OBS_CLI_HH

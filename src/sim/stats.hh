@@ -75,7 +75,7 @@ class Histogram
 {
   public:
     Histogram(double lo, double hi, std::size_t bins)
-        : lo_(lo), hi_(hi), counts_(bins, 0)
+        : lo_(lo), hi_(hi), counts_(bins ? bins : 1, 0)
     {
     }
 
@@ -104,6 +104,58 @@ class Histogram
     {
         return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                          static_cast<double>(counts_.size());
+    }
+
+    /**
+     * Estimate the @p p-th percentile (p in [0, 100]) by linear
+     * interpolation within the containing bin.  The estimate is
+     * clamped to the observed [min, max]; returns 0 with no samples.
+     */
+    double
+    percentile(double p) const
+    {
+        const std::uint64_t total = stat_.count();
+        if (total == 0)
+            return 0.0;
+        p = std::min(100.0, std::max(0.0, p));
+        const double target = p / 100.0 * static_cast<double>(total);
+        const double width =
+            (hi_ - lo_) / static_cast<double>(counts_.size());
+        double cum = 0.0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            const double c = static_cast<double>(counts_[i]);
+            if (cum + c >= target && c > 0.0) {
+                const double frac = (target - cum) / c;
+                const double est =
+                    binLow(i) + width * std::min(1.0, frac);
+                return std::min(stat_.max(), std::max(stat_.min(), est));
+            }
+            cum += c;
+        }
+        return stat_.max();
+    }
+
+    /**
+     * One-line ASCII rendering of the bin shape (one character per
+     * bin, scaled to the fullest bin), for quick bench printouts.
+     */
+    std::string
+    renderAscii() const
+    {
+        static const char levels[] = " .:-=+*#%@";
+        std::uint64_t peak = 0;
+        for (std::uint64_t c : counts_)
+            peak = std::max(peak, c);
+        std::string out = "[";
+        for (std::uint64_t c : counts_) {
+            std::size_t lvl = 0;
+            if (peak > 0 && c > 0)
+                lvl = 1 + static_cast<std::size_t>(
+                              (c * 8 + peak - 1) / peak);
+            out += levels[std::min<std::size_t>(lvl, 9)];
+        }
+        out += "]";
+        return out;
     }
 
   private:

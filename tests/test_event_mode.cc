@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "protocols/finite_xfer.hh"
 #include "protocols/stream.hh"
+#include "sim/metrics.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -240,6 +244,56 @@ TEST(EventMode, RecoveryCostsAreVisible)
                r.counts.dst.featureTotal(Feature::FaultTolerance);
     };
     EXPECT_GT(ft(res), ft(base));
+}
+
+TEST(EventMode, SimulatorExposesEventLoopMetrics)
+{
+    Stack stack(cleanConfig());
+    StreamProtocol proto(stack);
+    StreamParams p;
+    p.words = 256;
+    p.eventMode = true;
+    const auto res = proto.run(p);
+    ASSERT_TRUE(res.dataOk);
+
+    const Simulator &sim = stack.sim();
+    EXPECT_GT(sim.eventsDispatched(), 0u);
+    EXPECT_GE(sim.eventsScheduled(), sim.eventsDispatched());
+    EXPECT_GT(sim.tickAdvances(), 0u);
+    EXPECT_LE(sim.tickAdvances(), sim.eventsDispatched());
+    EXPECT_GE(sim.maxQueueDepth(), 1u);
+
+    MetricsRegistry reg;
+    sim.publishMetrics(reg, "sim");
+    EXPECT_TRUE(reg.has("sim.events_dispatched"));
+    EXPECT_TRUE(reg.has("sim.events_scheduled"));
+    EXPECT_TRUE(reg.has("sim.tick_advances"));
+    EXPECT_TRUE(reg.has("sim.max_queue_depth"));
+    EXPECT_EQ(reg.counter("sim.events_dispatched"),
+              sim.eventsDispatched());
+}
+
+TEST(EventMode, QueueDepthCounterSamplesLandInAnAttachedSession)
+{
+    TraceSession ts;
+    ts.attach();
+
+    Stack stack(cleanConfig());
+    ts.bindClock(&stack.sim());
+    FiniteXfer proto(stack);
+    FiniteXferParams p;
+    p.words = 64;
+    p.eventMode = true;
+    const auto res = proto.run(p);
+    ASSERT_TRUE(res.dataOk);
+    ts.detach();
+
+    std::uint64_t depthSamples = 0;
+    for (const auto &rec : ts.snapshot())
+        if (rec.kind == TraceSession::Kind::Counter &&
+            std::string(rec.name) == "sim.queue_depth")
+            ++depthSamples;
+    EXPECT_GT(depthSamples, 0u);
 }
 
 } // namespace

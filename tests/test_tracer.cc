@@ -11,6 +11,7 @@
 #include "net/tracer.hh"
 #include "protocols/finite_xfer.hh"
 #include "protocols/stream.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim
 {
@@ -51,6 +52,46 @@ TEST(Tracer, RingEvictsOldestButKeepsCounting)
     ASSERT_EQ(snap.size(), 4u);
     EXPECT_EQ(snap.front().injectSeq, 6u); // oldest retained
     EXPECT_EQ(snap.back().injectSeq, 9u);
+}
+
+TEST(Tracer, CapacityZeroClampsToOneInsteadOfCrashing)
+{
+    // Regression: a zero-capacity ring used to be constructible and
+    // record() would then index an empty vector.
+    PacketTracer t(0);
+    t.record(1, TraceEvent::Inject, mk(0, 1, 0));
+    t.record(2, TraceEvent::Deliver, mk(0, 1, 0));
+    EXPECT_EQ(t.observed(), 2u);
+    const auto snap = t.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].when, 2u); // only the newest record retained
+}
+
+TEST(Tracer, ObserverSeesEveryRecordAndBridgesToTraceSession)
+{
+    PacketTracer t(4);
+    std::uint64_t seen = 0;
+    t.setObserver([&](const TraceRecord &) { ++seen; });
+    for (std::uint64_t i = 0; i < 10; ++i)
+        t.record(i, TraceEvent::Inject, mk(0, 1, i));
+    EXPECT_EQ(seen, 10u); // evicted records were still observed
+
+    // The bridge lands hardware events as instants on the session
+    // timeline: injections on the source track, deliveries on the
+    // destination track.
+    TraceSession session;
+    attachTraceBridge(t, session);
+    t.record(20, TraceEvent::Inject, mk(2, 3, 7));
+    t.record(25, TraceEvent::Deliver, mk(2, 3, 7));
+    const auto recs = session.snapshot();
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].kind, TraceSession::Kind::Instant);
+    EXPECT_STREQ(recs[0].cat, "hw");
+    EXPECT_STREQ(recs[0].name, "inject");
+    EXPECT_EQ(recs[0].node, 2u);
+    EXPECT_EQ(recs[0].start, 20u);
+    EXPECT_EQ(recs[1].node, 3u);
+    EXPECT_EQ(recs[1].start, 25u);
 }
 
 TEST(Tracer, SelectAndDump)

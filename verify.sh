@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Repo verification: build, run the test suite, then drive one traced
+# example end-to-end and check that the exported Chrome trace is
+# valid JSON containing the six finite-xfer protocol steps and the
+# bridged hardware packet events.
+#
+#   ./verify.sh                  full: configure + build + ctest + traced run
+#   ./verify.sh --quick <binary> only the traced-run check, against an
+#                                already-built bulk_transfer binary
+#                                (this is what the CTest hook uses;
+#                                it must NOT recurse into ctest)
+set -euo pipefail
+
+repo_dir="$(cd "$(dirname "$0")" && pwd)"
+
+check_traced_run() {
+    local binary="$1"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    "$binary" 64 --trace-out="$tmpdir/trace.json" \
+        --metrics-out="$tmpdir/metrics.json" > "$tmpdir/stdout.txt"
+    grep -q "integrity: ok" "$tmpdir/stdout.txt"
+
+    python3 - "$tmpdir/trace.json" "$tmpdir/metrics.json" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+names = {(e.get("cat"), e.get("name")) for e in events}
+
+steps = ["alloc_req", "seg_alloc", "alloc_reply", "data",
+         "seg_free", "ack"]
+missing = [s for s in steps if ("finite_xfer", s) not in names]
+assert not missing, f"missing finite_xfer steps: {missing}"
+
+hw = {n for c, n in names if c == "hw"}
+assert {"inject", "deliver"} <= hw, f"missing hw instants: {hw}"
+
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete spans exported"
+assert all("ts" in e and "dur" in e for e in spans)
+
+metrics = json.load(open(sys.argv[2]))["metrics"]
+mnames = {m["name"] for m in metrics}
+assert any(n.startswith("trace.span.finite_xfer") for n in mnames), \
+    f"span phase counters absent from the metrics dump: {sorted(mnames)[:8]}"
+assert any(n.endswith("events_dispatched") for n in mnames)
+
+print(f"trace ok: {len(events)} events, {len(spans)} spans, "
+      f"{len(metrics)} metrics")
+EOF
+}
+
+if [[ "${1:-}" == "--quick" ]]; then
+    [[ $# -eq 2 ]] || { echo "usage: $0 --quick <bulk_transfer>" >&2; exit 2; }
+    check_traced_run "$2"
+    echo "verify --quick: OK"
+    exit 0
+fi
+
+cd "$repo_dir"
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+check_traced_run "$repo_dir/build/examples/bulk_transfer"
+echo "verify: OK"
