@@ -1,105 +1,14 @@
 /**
  * @file
- * Reproduces paper Figure 6: "Comparison of messaging layer costs" —
- * CMAM-based implementations (left bars) versus implementations atop
- * high-level network features (right bars), for the finite-sequence
- * and indefinite-sequence protocols at 16 and 1024 words, source and
- * destination sides.
- *
- * Paper claims: finite improves 10-50% depending on message size;
- * indefinite improves ~70% independent of size.
+ * Figure 6 of the paper — CMAM vs high-level network features.
+ * Thin wrapper over the registered lab experiment in
+ * src/lab/experiments.cc (F6).
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "hlam/hl_stack.hh"
-#include "protocols/finite_xfer.hh"
-#include "protocols/stream.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
-
-namespace
-{
-
-void
-bars(const char *label, std::uint64_t cmam, std::uint64_t hl)
-{
-    // Text rendering of one bar pair, scaled per row.
-    const std::uint64_t maxv = cmam > hl ? cmam : hl;
-    const int width = 46;
-    auto bar = [&](std::uint64_t v) {
-        const int len =
-            maxv ? static_cast<int>(v * static_cast<std::uint64_t>(width)
-                                    / maxv)
-                 : 0;
-        return std::string(static_cast<std::size_t>(len), '#');
-    };
-    std::printf("  %-10s CMAM %8llu |%-46s|\n", label,
-                static_cast<unsigned long long>(cmam),
-                bar(cmam).c_str());
-    std::printf("  %-10s HL   %8llu |%-46s|\n", "",
-                static_cast<unsigned long long>(hl), bar(hl).c_str());
-}
-
-} // namespace
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    for (std::uint32_t words : {16u, 1024u}) {
-        banner("Figure 6 (left): finite sequence, " +
-               std::to_string(words) + " words");
-        Stack cm5(paperCm5());
-        FiniteXfer fin(cm5);
-        FiniteXferParams fp;
-        fp.words = words;
-        const auto rc = fin.run(fp);
-
-        HlStackConfig hcfg;
-        HlStack hl(hcfg);
-        HlXferParams hp;
-        hp.words = words;
-        const auto rh = runHlFinite(hl, hp);
-
-        bars("source", rc.counts.src.paperTotal(),
-             rh.counts.src.paperTotal());
-        bars("dest", rc.counts.dst.paperTotal(),
-             rh.counts.dst.paperTotal());
-        const double imp =
-            1.0 - static_cast<double>(rh.counts.paperTotal()) /
-                      static_cast<double>(rc.counts.paperTotal());
-        std::printf("  total improvement: %s  (paper: 10-50%% by "
-                    "message size)\n",
-                    pct(imp).c_str());
-    }
-
-    for (std::uint32_t words : {16u, 1024u}) {
-        banner("Figure 6 (right): indefinite sequence, " +
-               std::to_string(words) + " words");
-        Stack cm5(paperCm5(/*halfOoo=*/true));
-        StreamProtocol str(cm5);
-        StreamParams sp;
-        sp.words = words;
-        const auto rc = str.run(sp);
-
-        HlStackConfig hcfg;
-        HlStack hl(hcfg);
-        HlStreamParams hp;
-        hp.words = words;
-        const auto rh = runHlStream(hl, hp);
-
-        bars("source", rc.counts.src.paperTotal(),
-             rh.counts.src.paperTotal());
-        bars("dest", rc.counts.dst.paperTotal(),
-             rh.counts.dst.paperTotal());
-        const double imp =
-            1.0 - static_cast<double>(rh.counts.paperTotal()) /
-                      static_cast<double>(rc.counts.paperTotal());
-        std::printf("  total improvement: %s  (paper: ~70%%, "
-                    "independent of size)\n",
-                    pct(imp).c_str());
-    }
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"F6"});
 }

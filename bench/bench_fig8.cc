@@ -1,132 +1,14 @@
 /**
  * @file
- * Reproduces paper Figure 8.
- *
- * Left: the generalized breakdown of CMAM costs as formulas in the
- * packet size n and packet count p, printed symbolically and
- * evaluated — cross-checked against live simulation at several
- * (n, p) points.
- *
- * Right: messaging-layer overhead (non-base fraction of the total
- * software cost) versus packet size for 1024 words of communication,
- * n = 4..128.  Paper claims: indefinite-sequence overhead remains
- * significant over the whole range; finite-sequence overhead is
- * ~9-11%.
- *
- * Also prints the abstract's headline: 50-70% of cost is overhead in
- * all cases except large finite-sequence transfers.
+ * Figure 8 of the paper — generalized costs vs packet size, plus the
+ * abstract's 50-70% overhead claim.  Thin wrapper over the registered
+ * lab experiments in src/lab/experiments.cc (F8, D2).
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "model/analytic.hh"
-#include "protocols/finite_xfer.hh"
-#include "protocols/stream.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 8 (left): generalized CMAM cost formulas "
-           "(h = n/2, p = packets/message)");
-    std::printf(
-        "finite sequence:\n"
-        "  src base  = 3 + p*(15 reg + h mem + (h+3) dev)\n"
-        "  dst base  = 18 + p*(12 reg + h mem + (h+2) dev)\n"
-        "  buf mgmt  = 47 (src) + 101 (dst)        [4-word ctl pkts]\n"
-        "  in-order  = 2p (src) + 3p+1 (dst)       [reg]\n"
-        "  fault-tol = 27 (src) + 20 (dst)         [end-to-end ack]\n"
-        "indefinite sequence (f = OOO fraction, G = ack group):\n"
-        "  src base  = p*(14 reg + 1 mem + (h+3) dev)\n"
-        "  dst base  = 13 + p*(10 reg + (h+2) dev)\n"
-        "  in-order  = p*(2 reg + 3 mem) (src)\n"
-        "            + p*(2 + 4(1-f) + 27f reg, f*(19+n) mem) (dst)\n"
-        "  fault-tol = p*(6 reg + h mem) + ceil(p/G)*(16 reg + 5 dev) "
-        "(src)\n"
-        "            + [G>1: 2p reg] + ceil(p/G)*(14 reg + 1 mem + 5 "
-        "dev) (dst)\n\n");
-
-    std::printf("model vs simulation cross-check (total "
-                "instructions, 1024 words):\n");
-    std::printf("  %6s  %10s  %10s  %12s  %12s\n", "n", "fin(model)",
-                "fin(sim)", "indef(model)", "indef(sim)");
-    for (int n : {4, 8, 16, 32}) {
-        ProtoParams pp;
-        pp.n = n;
-        pp.words = 1024;
-        pp.oooFraction = 0.5;
-        const double fm = cmamFiniteModel(pp).grandTotal();
-        const double sm = cmamStreamModel(pp).grandTotal();
-
-        StackConfig cfg = paperCm5();
-        cfg.dataWords = n;
-        Stack s1(cfg);
-        FiniteXfer fin(s1);
-        FiniteXferParams fp;
-        fp.words = 1024;
-        const auto rf = fin.run(fp);
-
-        StackConfig cfg2 = paperCm5(true);
-        cfg2.dataWords = n;
-        Stack s2(cfg2);
-        StreamProtocol str(s2);
-        StreamParams sp;
-        sp.words = 1024;
-        const auto rs = str.run(sp);
-
-        std::printf("  %6d  %10.0f  %10llu  %12.0f  %12llu\n", n, fm,
-                    static_cast<unsigned long long>(
-                        rf.counts.paperTotal()),
-                    sm,
-                    static_cast<unsigned long long>(
-                        rs.counts.paperTotal()));
-    }
-
-    banner("Figure 8 (right): messaging overhead vs packet size, "
-           "1024-word message");
-    std::printf("  %6s  %22s  %22s\n", "n", "finite overhead",
-                "indefinite overhead");
-    for (int n : {4, 8, 16, 32, 64, 128}) {
-        ProtoParams pp;
-        pp.n = n;
-        pp.words = 1024;
-        pp.oooFraction = 0.5;
-        const double fo = cmamFiniteModel(pp).overheadFraction();
-        const double so = cmamStreamModel(pp).overheadFraction();
-        auto bar = [](double frac) {
-            std::string s(static_cast<std::size_t>(frac * 20), '#');
-            return s;
-        };
-        std::printf("  %6d  %7s |%-12s|  %7s |%-12s|\n", n,
-                    pct(fo).c_str(), bar(fo).c_str(), pct(so).c_str(),
-                    bar(so).c_str());
-    }
-    std::printf("\npaper: finite ~9-11%%, indefinite remains "
-                "significant across 4-128\n");
-
-    banner("Abstract claim: overhead is 50-70% of software cost");
-    struct Row
-    {
-        const char *what;
-        double frac;
-    };
-    ProtoParams p16;
-    p16.words = 16;
-    ProtoParams p1024;
-    p1024.words = 1024;
-    const Row rows[] = {
-        {"finite, 16 words", cmamFiniteModel(p16).overheadFraction()},
-        {"finite, 1024 words (the exception, §3.3)",
-         cmamFiniteModel(p1024).overheadFraction()},
-        {"indefinite, 16 words",
-         cmamStreamModel(p16).overheadFraction()},
-        {"indefinite, 1024 words",
-         cmamStreamModel(p1024).overheadFraction()},
-    };
-    for (const auto &r : rows)
-        std::printf("  %-42s %s\n", r.what, pct(r.frac).c_str());
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"F8", "D2"});
 }

@@ -1,47 +1,14 @@
 /**
  * @file
- * Reproduces the §3.2 discussion claim: "the overhead remains
- * significant (~40-50%) even if group acknowledgements are
- * employed."  Sweeps the ack group size G for the indefinite
- * -sequence protocol (1024 words, half the packets out of order)
- * and reports the fault-tolerance cost and the total overhead
- * fraction, measured from live simulation.
+ * Section 3.2's group-acknowledgement claim — ack-group sweep on the
+ * indefinite protocol.  Thin wrapper over the registered lab
+ * experiment in src/lab/experiments.cc (D1).
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "protocols/stream.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Group acknowledgements: indefinite sequence, 1024 words, "
-           "half OOO");
-    std::printf("  %6s  %6s  %12s  %12s  %10s\n", "G", "acks",
-                "fault-tol", "total", "overhead");
-    for (int g : {1, 2, 4, 8, 16, 32, 64, 256}) {
-        Stack stack(paperCm5(/*halfOoo=*/true));
-        StreamProtocol proto(stack);
-        StreamParams p;
-        p.words = 1024;
-        p.groupAck = g;
-        const auto res = proto.run(p);
-        const auto ft =
-            res.counts.src.featureTotal(Feature::FaultTolerance) +
-            res.counts.dst.featureTotal(Feature::FaultTolerance);
-        std::printf("  %6d  %6llu  %12llu  %12llu  %10s%s\n", g,
-                    static_cast<unsigned long long>(res.acksSent),
-                    static_cast<unsigned long long>(ft),
-                    static_cast<unsigned long long>(
-                        res.counts.paperTotal()),
-                    pct(res.counts.overheadFraction()).c_str(),
-                    res.dataOk ? "" : "  [INTEGRITY FAILED]");
-    }
-    std::printf("\npaper: overhead stays ~40-50%% even with group "
-                "acks (in-order costs dominate)\n");
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"D1"});
 }

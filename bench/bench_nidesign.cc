@@ -1,82 +1,14 @@
 /**
  * @file
- * Ablation for the paper's §5/§7 "paradox": improving the network
- * interface (cheaper dev accesses, on-chip NIs, DMA) only *raises*
- * the relative weight of the remaining software protocol overhead.
- * We sweep the dev-access weight from the CM-5's 5 cycles down to a
- * tightly-coupled NI's 1 cycle and report the overhead fraction of
- * the cycle-weighted cost for both CMAM protocols.
+ * NI design ablation — overhead fraction vs device access cost.
+ * Thin wrapper over the registered lab experiment in
+ * src/lab/experiments.cc (X3a).
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "model/analytic.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
-
-namespace
-{
-
-double
-overheadUnder(const FeatureBreakdown &bd, const CostModel &m)
-{
-    double base = bd.at(Feature::BaseCost, Direction::Source)
-                      .weighted(m) +
-                  bd.at(Feature::BaseCost, Direction::Destination)
-                      .weighted(m);
-    const double total = bd.weightedTotal(m);
-    return (total - base) / total;
-}
-
-} // namespace
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("NI design ablation: software overhead fraction vs dev "
-           "access cost (1024-word message, n = 4)");
-
-    ProtoParams pp;
-    pp.words = 1024;
-    pp.oooFraction = 0.5;
-    const auto fin = cmamFiniteModel(pp);
-    const auto str = cmamStreamModel(pp);
-
-    std::printf("  %-28s  %10s  %12s\n", "NI model (dev weight)",
-                "finite", "indefinite");
-    struct Ni
-    {
-        const char *name;
-        double w;
-    };
-    const Ni nis[] = {
-        {"CM-5 memory-mapped (5)", 5.0},
-        {"improved bus NI (3)", 3.0},
-        {"coprocessor NI (2)", 2.0},
-        {"on-chip NI, reg-mapped (1)", 1.0},
-    };
-    for (const auto &ni : nis) {
-        CostModel m{"sweep", 1.0, 1.0, ni.w};
-        std::printf("  %-28s  %10s  %12s\n", ni.name,
-                    pct(overheadUnder(fin, m)).c_str(),
-                    pct(overheadUnder(str, m)).c_str());
-    }
-    std::printf(
-        "\npaper §5: \"If the base cost is reduced, that increases "
-        "the importance of the costs in the rest of the messaging "
-        "layer\" — the overhead fraction RISES as the NI improves.\n");
-
-    banner("Where high-level network services would leave us");
-    ProtoParams p2 = pp;
-    const auto hl = hlStreamModel(p2);
-    for (double w : {5.0, 1.0}) {
-        CostModel m{"sweep", 1.0, 1.0, w};
-        std::printf("  dev weight %.0f: CMAM stream %.0f cycles vs "
-                    "HL stream %.0f cycles (%.1fx)\n",
-                    w, str.weightedTotal(m), hl.weightedTotal(m),
-                    str.weightedTotal(m) / hl.weightedTotal(m));
-    }
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"X3a"});
 }

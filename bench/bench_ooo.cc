@@ -1,62 +1,13 @@
 /**
  * @file
- * Ablation: in-order-delivery cost versus the fraction of packets
- * arriving out of order.  The paper measures one point (f = 1/2);
- * this sweep shows how the sequencing/reordering bill scales with
- * the network's delivery-order entropy — the quantitative version of
- * §5's warning that adaptive/randomizing routers buy routing
- * performance with software cycles.
- *
- * Measured from live simulation with the PairSwapChance policy
- * (expected OOO fraction = swap chance / 2) plus the analytic model.
+ * In-order-delivery cost vs out-of-order fraction.  Thin wrapper over
+ * the registered lab experiment in src/lab/experiments.cc (X1).
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "model/analytic.hh"
-#include "protocols/stream.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Out-of-order fraction sweep: indefinite sequence, 4096 "
-           "words (1024 packets)");
-    std::printf("  %8s  %10s  %14s  %14s  %10s\n", "target f",
-                "actual f", "in-order cost", "model", "overhead");
-    for (double f : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-        StackConfig cfg = paperCm5();
-        if (f > 0)
-            cfg.order = pairSwapChanceFactory(f / (1.0 - f), 987);
-        Stack stack(cfg);
-        StreamProtocol proto(stack);
-        StreamParams p;
-        p.words = 4096;
-        const auto res = proto.run(p);
-        const double actual =
-            static_cast<double>(res.oooArrivals) /
-            static_cast<double>(res.packets);
-
-        ProtoParams pp;
-        pp.words = 4096;
-        pp.oooFraction = actual; // model at the realized fraction
-        const double model_ord =
-            cmamStreamModel(pp).featureTotal(
-                Feature::InOrderDelivery);
-        const auto ord =
-            res.counts.src.featureTotal(Feature::InOrderDelivery) +
-            res.counts.dst.featureTotal(Feature::InOrderDelivery);
-        std::printf("  %8.2f  %10.3f  %14llu  %14.0f  %10s%s\n", f,
-                    actual, static_cast<unsigned long long>(ord),
-                    model_ord,
-                    pct(res.counts.overheadFraction()).c_str(),
-                    res.dataOk ? "" : "  [INTEGRITY FAILED]");
-    }
-    std::printf("\nshape: in-order cost grows ~linearly in f; even "
-                "f = 0 pays sequencing (2 reg + 3 mem per packet at "
-                "the source, 6 reg at the destination)\n");
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"X1"});
 }

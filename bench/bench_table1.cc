@@ -1,57 +1,14 @@
 /**
  * @file
- * Reproduces paper Table 1: "Instruction counts for single-packet
- * delivery" — the row-by-row breakdown of the CMAM_4 send and
- * receive fast paths, regenerated from instrumented execution.
- * Paper values: source 20, destination 27.
+ * Table 1 of the paper — single-packet delivery instruction counts.
+ * Thin wrapper over the registered lab experiment; the table logic
+ * lives in src/lab/experiments.cc (T1).
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "core/report.hh"
-#include "protocols/single_packet.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Table 1: single-packet delivery (CMAM on CM-5-like "
-           "network, n = 4)");
-
-    Stack stack(paperCm5());
-    Node &src = stack.node(0);
-    Node &dst = stack.node(1);
-    const auto res = runSinglePacket(stack, {});
-
-    std::printf("%s\n",
-                rowTable("Instruction counts for single-packet "
-                         "delivery",
-                         src.acct(), dst.acct())
-                    .c_str());
-    std::printf("paper: source = 20, destination = 27, total = 47\n");
-    std::printf("measured: source = %llu, destination = %llu, "
-                "total = %llu\n",
-                static_cast<unsigned long long>(
-                    res.counts.src.paperTotal()),
-                static_cast<unsigned long long>(
-                    res.counts.dst.paperTotal()),
-                static_cast<unsigned long long>(
-                    res.counts.paperTotal()));
-    std::printf("data integrity: %s\n", res.dataOk ? "ok" : "FAILED");
-
-    banner("Same path on the CR substrate (Section 4.1: identical, "
-           "but ordered/safe/reliable)");
-    StackConfig cr = paperCm5();
-    cr.substrate = Substrate::Cr;
-    Stack crstack(cr);
-    const auto cres = runSinglePacket(crstack, {});
-    std::printf("measured: source = %llu, destination = %llu\n",
-                static_cast<unsigned long long>(
-                    cres.counts.src.paperTotal()),
-                static_cast<unsigned long long>(
-                    cres.counts.dst.paperTotal()));
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"T1"});
 }

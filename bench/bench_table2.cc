@@ -1,73 +1,14 @@
 /**
  * @file
- * Reproduces paper Table 2: "Multi-packet delivery costs for 16- and
- * 1024-word messages: packet size = 4 words" — the per-feature
- * breakdown of the finite-sequence and indefinite-sequence protocols
- * on the CMAM/CM-5 stack, regenerated from instrumented execution.
- *
- * Paper reference values (totals src/dst/total):
- *   finite     16 w:  173 /  224 /   397  (consistent with Tables
- *                      2+3; the prose's "285" is flagged in
- *                      EXPERIMENTS.md)
- *   indefinite 16 w:  216 /  265 /   481
- *   finite   1024 w: 6221 / 5516 / 11737
- *   indefinite 1024: 13824 / 16141 / 29965
+ * Table 2 of the paper — finite (T2a) and indefinite (T2b)
+ * multi-packet feature breakdowns.  Thin wrapper over the registered
+ * lab experiments in src/lab/experiments.cc.
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "core/report.hh"
-#include "protocols/finite_xfer.hh"
-#include "protocols/stream.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    for (std::uint32_t words : {16u, 1024u}) {
-        banner("Table 2: message size = " + std::to_string(words) +
-               " words");
-
-        {
-            Stack stack(paperCm5());
-            FiniteXfer proto(stack);
-            FiniteXferParams p;
-            p.words = words;
-            const auto res = proto.run(p);
-            std::printf("%s", featureTable(
-                                  "Finite sequence, multi-packet "
-                                  "delivery",
-                                  res.counts)
-                                  .c_str());
-            std::printf("data integrity: %s\n\n",
-                        res.dataOk ? "ok" : "FAILED");
-        }
-        {
-            Stack stack(paperCm5(/*halfOoo=*/true));
-            StreamProtocol proto(stack);
-            StreamParams p;
-            p.words = words;
-            const auto res = proto.run(p);
-            std::printf("%s", featureTable(
-                                  "Indefinite sequence, multi-packet "
-                                  "delivery (half the packets arrive "
-                                  "out of order)",
-                                  res.counts)
-                                  .c_str());
-            std::printf("out-of-order arrivals: %llu of %llu; "
-                        "acks: %llu; data integrity: %s\n",
-                        static_cast<unsigned long long>(
-                            res.oooArrivals),
-                        static_cast<unsigned long long>(res.packets),
-                        static_cast<unsigned long long>(res.acksSent),
-                        res.dataOk ? "ok" : "FAILED");
-            std::printf("overhead fraction (non-base): %s "
-                        "(paper: ~70%% for indefinite)\n",
-                        pct(res.counts.overheadFraction()).c_str());
-        }
-    }
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"T2a", "T2b"});
 }

@@ -1,51 +1,14 @@
 /**
  * @file
- * Reproduces paper Table 3 (Appendix A): instruction subcategories
- * (reg / mem / dev) for the CMAM-based finite-sequence and
- * indefinite-sequence protocols at 16 and 1024 words, regenerated
- * from instrumented execution.
+ * Table 3 of the paper (Appendix A) — reg/mem/dev instruction
+ * subcategories.  Thin wrapper over the registered lab experiment in
+ * src/lab/experiments.cc (T3).
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "core/report.hh"
-#include "protocols/finite_xfer.hh"
-#include "protocols/stream.hh"
-
-using namespace msgsim;
-using namespace msgsim::bench;
+#include "lab/bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    for (std::uint32_t words : {16u, 1024u}) {
-        banner("Table 3: message size = " + std::to_string(words) +
-               " words");
-        {
-            Stack stack(paperCm5());
-            FiniteXfer proto(stack);
-            FiniteXferParams p;
-            p.words = words;
-            const auto res = proto.run(p);
-            std::printf("%s\n", categoryTable(
-                                    "Finite sequence, multi-packet "
-                                    "delivery",
-                                    res.counts)
-                                    .c_str());
-        }
-        {
-            Stack stack(paperCm5(/*halfOoo=*/true));
-            StreamProtocol proto(stack);
-            StreamParams p;
-            p.words = words;
-            const auto res = proto.run(p);
-            std::printf("%s\n", categoryTable(
-                                    "Indefinite sequence, multi-packet "
-                                    "delivery",
-                                    res.counts)
-                                    .c_str());
-        }
-    }
-    return 0;
+    return msgsim::lab::labBenchMain(argc, argv, {"T3"});
 }

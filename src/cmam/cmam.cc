@@ -332,8 +332,12 @@ Cmam::genericReceive(const Packet &head)
     Accounting &a = p.acct();
     NetIface &ni = node_.ni();
     // Packet length comes from the status/length register the poll
-    // loop already read (4 for AMs and control packets).
+    // loop already read (4 for AMs and control packets).  Copy the
+    // dispatch fields now: draining the payload below pops the packet
+    // out of the NI's receive FIFO, after which @p head is dangling.
     const int n = static_cast<int>(head.data.size());
+    const NodeId src = head.src;
+    const HwTag tag = head.tag;
 
     // CMAM_handle_left linkage.
     {
@@ -362,15 +366,15 @@ Cmam::genericReceive(const Packet &head)
     }
 
     const std::uint32_t sel = hdr::fieldA(header);
-    if (head.tag == HwTag::UserAm) {
+    if (tag == HwTag::UserAm) {
         if (sel >= handlers_.size() || !handlers_[sel])
             msgsim_panic("AM to unregistered handler ", sel);
-        handlers_[sel](head.src, args);
+        handlers_[sel](src, args);
     } else {
         if (sel == 0 || sel >= static_cast<std::uint32_t>(CtrlOp::NumOps)
             || !ctrlSinks_[sel])
             msgsim_panic("control packet with no sink, op ", sel);
-        ctrlSinks_[sel](head.src, hdr::fieldB(header), args);
+        ctrlSinks_[sel](src, hdr::fieldB(header), args);
     }
 }
 

@@ -55,6 +55,14 @@ HlStack::hl(NodeId id)
     return *layers_[id];
 }
 
+Word
+HlStack::allocTid()
+{
+    const Word tid = nextTid_;
+    nextTid_ = nextTid_ >= 200 ? 1 : nextTid_ + 1;
+    return tid;
+}
+
 RunResult
 runHlFinite(HlStack &stack, const HlXferParams &params)
 {
@@ -63,10 +71,7 @@ runHlFinite(HlStack &stack, const HlXferParams &params)
     Node &src = stack.node(params.src);
     Node &dst = stack.node(params.dst);
 
-    // Transfer ids live in the 8-bit header field; recycle within it.
-    static Word next_tid = 1;
-    const Word tid = next_tid;
-    next_tid = next_tid >= 200 ? 1 : next_tid + 1;
+    const Word tid = stack.allocTid();
     const Addr src_buf = src.mem().alloc(params.words);
     const Addr dst_buf = dst.mem().alloc(params.words);
 

@@ -48,10 +48,18 @@ class HlStack
     HlLayer &hl(NodeId id);
     void settle() { machine_->settle(); }
 
+    /**
+     * Next transfer id.  Ids live in the 8-bit header field and are
+     * recycled within it; the counter is per-stack so concurrent
+     * stacks (the lab's parallel sweeps) never share mutable state.
+     */
+    Word allocTid();
+
   private:
     HlStackConfig cfg_;
     std::unique_ptr<Machine> machine_;
     std::vector<std::unique_ptr<HlLayer>> layers_;
+    Word nextTid_ = 1;
 };
 
 /** Parameters of a high-level finite-sequence run. */

@@ -1,0 +1,40 @@
+#include "lab/bench_main.hh"
+
+#include <cstdio>
+
+#include "lab/registry.hh"
+#include "lab/reporter.hh"
+#include "lab/runner.hh"
+#include "sim/obs_cli.hh"
+
+namespace msgsim::lab
+{
+
+int
+labBenchMain(int argc, char **argv,
+             const std::vector<std::string> &names)
+{
+    auto obsOpts = obs::parseArgs(argc, argv);
+    obs::Scope scope(obsOpts);
+
+    ExperimentRegistry &reg = builtinRegistry();
+    std::vector<const Experiment *> selection;
+    for (const auto &name : names) {
+        const Experiment *e = reg.find(name);
+        if (!e) {
+            std::fprintf(stderr,
+                         "error: experiment '%s' is not registered\n",
+                         name.c_str());
+            return 1;
+        }
+        selection.push_back(e);
+    }
+
+    SweepOptions opts; // sequential: benches are for reading, not racing
+    SweepRunner runner(opts);
+    const auto tables = runner.run(selection);
+    std::fputs(Reporter::markdown(tables).c_str(), stdout);
+    return 0;
+}
+
+} // namespace msgsim::lab

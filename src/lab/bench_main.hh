@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared main() for the thin bench wrappers: each bench_* binary
+ * names the experiments it fronts and delegates selection, running,
+ * and rendering to the lab engine, so the paper tables have exactly
+ * one implementation.
+ */
+
+#ifndef MSGSIM_LAB_BENCH_MAIN_HH
+#define MSGSIM_LAB_BENCH_MAIN_HH
+
+#include <string>
+#include <vector>
+
+namespace msgsim::lab
+{
+
+/**
+ * Run the named registered experiments sequentially and print their
+ * markdown tables; honours the PR 1 observability flags
+ * (`--trace-out=`, `--metrics-out=`) via obs::parseArgs.  Returns a
+ * process exit status.
+ */
+int labBenchMain(int argc, char **argv,
+                 const std::vector<std::string> &names);
+
+} // namespace msgsim::lab
+
+#endif // MSGSIM_LAB_BENCH_MAIN_HH

@@ -1,0 +1,1304 @@
+/**
+ * @file
+ * The built-in experiment catalog: every entry of the EXPERIMENTS.md
+ * E-index (T1, T2a/b, T3, F6, F8, D1, D2, A1, X1–X10) plus the perf
+ * -trajectory micro measurement (P1), registered as declarative
+ * Experiments over the existing protocol/model/workload layers.
+ *
+ * Each grid point builds its own stacks and touches no shared mutable
+ * state, so the SweepRunner may execute points concurrently; all
+ * random behaviour is seeded through StackConfig, so results are
+ * bit-deterministic (P1, which measures host wall-clock, is the one
+ * exception and is flagged non-deterministic).
+ */
+
+#include <chrono>
+#include <cmath>
+
+#include "coll/collectives.hh"
+#include "core/cost_model.hh"
+#include "hlam/hl_stack.hh"
+#include "lab/registry.hh"
+#include "model/analytic.hh"
+#include "protocols/finite_xfer.hh"
+#include "protocols/single_packet.hh"
+#include "protocols/stream.hh"
+#include "workload/traffic.hh"
+
+namespace msgsim::lab
+{
+
+namespace
+{
+
+Cell
+I(std::uint64_t v)
+{
+    return Cell::integer(v);
+}
+
+Cell
+R(double v)
+{
+    return Cell::real(v);
+}
+
+Cell
+T(std::string v)
+{
+    return Cell::text(std::move(v));
+}
+
+/** Paper cell convention: zero renders (and pins) as null ("–"). */
+Cell
+paperCount(std::uint64_t v)
+{
+    return v == 0 ? Cell::null() : Cell::integer(v);
+}
+
+Cell
+okCell(bool ok)
+{
+    return T(ok ? "ok" : "FAILED");
+}
+
+/** The paper's measurement setup: CM-5 substrate, n = 4. */
+StackConfig
+paperCm5(bool halfOoo = false)
+{
+    StackConfig cfg;
+    cfg.substrate = Substrate::Cm5;
+    cfg.nodes = 4;
+    cfg.dataWords = 4;
+    if (halfOoo)
+        cfg.order = swapAdjacentFactory();
+    return cfg;
+}
+
+// ------------------------------------------------------------------
+// T1 — Table 1: single-packet delivery.
+// ------------------------------------------------------------------
+
+Experiment
+makeT1()
+{
+    Experiment e;
+    e.name = "T1";
+    e.title = "Table 1: single-packet delivery instruction counts "
+              "(paper: src 20, dst 27)";
+    e.columns = {"substrate", "row", "src", "dst"};
+    e.points = {"cm5", "cr"};
+    e.notes = {"Identical on both substrates (paper section 4.1) — "
+               "but on CR the packet is ordered, overflow-safe, and "
+               "reliable."};
+    e.runPoint = [](std::size_t pi) {
+        StackConfig cfg = paperCm5();
+        cfg.substrate = pi == 0 ? Substrate::Cm5 : Substrate::Cr;
+        Stack stack(cfg);
+        const auto res = runSinglePacket(stack, {});
+        const std::string sub = toString(cfg.substrate);
+        std::vector<Row> rows;
+        for (int r = 0; r < numCostRows; ++r) {
+            const auto row = static_cast<CostRow>(r);
+            const auto s = res.srcRows[static_cast<std::size_t>(r)];
+            const auto d = res.dstRows[static_cast<std::size_t>(r)];
+            if (row == CostRow::Other && s == 0 && d == 0)
+                continue;
+            rows.push_back({T(sub), T(toString(row)), paperCount(s),
+                            paperCount(d)});
+        }
+        rows.push_back({T(sub), T("Total"),
+                        I(res.counts.src.paperTotal()),
+                        I(res.counts.dst.paperTotal())});
+        rows.push_back(
+            {T(sub), T("integrity"), Cell::null(),
+             okCell(res.dataOk)});
+        return rows;
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// T2a/T2b — Table 2: multi-packet feature breakdowns.
+// ------------------------------------------------------------------
+
+std::vector<Row>
+featureRows(const std::string &label, const BreakdownCounter &bd)
+{
+    std::vector<Row> rows;
+    for (int f = 0; f < numPaperFeatures; ++f) {
+        const auto feat = static_cast<Feature>(f);
+        const auto s = bd.src.featureTotal(feat);
+        const auto d = bd.dst.featureTotal(feat);
+        rows.push_back({T(label), T(toString(feat)), paperCount(s),
+                        paperCount(d), paperCount(s + d)});
+    }
+    rows.push_back({T(label), T("Total"), I(bd.src.paperTotal()),
+                    I(bd.dst.paperTotal()), I(bd.paperTotal())});
+    return rows;
+}
+
+Experiment
+makeT2a()
+{
+    Experiment e;
+    e.name = "T2a";
+    e.title = "Table 2 (top): finite sequence, multi-packet delivery "
+              "(16/1024 words, n = 4)";
+    e.columns = {"words", "feature", "src", "dst", "total"};
+    e.points = {"16", "1024"};
+    e.notes = {"Paper totals: 173/224/397 at 16 words (see "
+               "EXPERIMENTS.md on the prose's 285), "
+               "6221/5516/11737 at 1024 words."};
+    e.runPoint = [](std::size_t pi) {
+        const std::uint32_t words = pi == 0 ? 16u : 1024u;
+        Stack stack(paperCm5());
+        FiniteXfer proto(stack);
+        FiniteXferParams p;
+        p.words = words;
+        const auto res = proto.run(p);
+        auto rows = featureRows(std::to_string(words), res.counts);
+        rows.push_back({T(std::to_string(words)), T("integrity"),
+                        Cell::null(), Cell::null(),
+                        okCell(res.dataOk)});
+        return rows;
+    };
+    return e;
+}
+
+Experiment
+makeT2b()
+{
+    Experiment e;
+    e.name = "T2b";
+    e.title = "Table 2 (bottom): indefinite sequence, multi-packet "
+              "delivery, half the packets out of order";
+    e.columns = {"words", "feature", "src", "dst", "total"};
+    e.points = {"16", "1024"};
+    e.notes = {"Paper totals: 216/265/481 at 16 words, "
+               "13824/16141/29965 at 1024 words; overhead ~70% "
+               "independent of size."};
+    e.runPoint = [](std::size_t pi) {
+        const std::uint32_t words = pi == 0 ? 16u : 1024u;
+        Stack stack(paperCm5(/*halfOoo=*/true));
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = words;
+        const auto res = proto.run(p);
+        const std::string w = std::to_string(words);
+        auto rows = featureRows(w, res.counts);
+        rows.push_back({T(w), T("ooo arrivals"), Cell::null(),
+                        Cell::null(), I(res.oooArrivals)});
+        rows.push_back({T(w), T("acks"), Cell::null(), Cell::null(),
+                        I(res.acksSent)});
+        rows.push_back({T(w), T("overhead"), Cell::null(),
+                        Cell::null(),
+                        R(res.counts.overheadFraction())});
+        rows.push_back({T(w), T("integrity"), Cell::null(),
+                        Cell::null(), okCell(res.dataOk)});
+        return rows;
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// T3 — Table 3 (Appendix A): reg/mem/dev subcategories.
+// ------------------------------------------------------------------
+
+Experiment
+makeT3()
+{
+    Experiment e;
+    e.name = "T3";
+    e.title = "Table 3 (Appendix A): instruction subcategories "
+              "(reg/mem/dev) per feature";
+    e.columns = {"run",     "feature", "src reg", "src mem",
+                 "src dev", "dst reg", "dst mem", "dst dev"};
+    e.points = {"finite 16", "finite 1024", "indefinite 16",
+                "indefinite 1024"};
+    e.runPoint = [points = e.points](std::size_t pi) {
+        const bool finite = pi < 2;
+        const std::uint32_t words = (pi % 2 == 0) ? 16u : 1024u;
+        BreakdownCounter counts;
+        if (finite) {
+            Stack stack(paperCm5());
+            FiniteXfer proto(stack);
+            FiniteXferParams p;
+            p.words = words;
+            counts = proto.run(p).counts;
+        } else {
+            Stack stack(paperCm5(/*halfOoo=*/true));
+            StreamProtocol proto(stack);
+            StreamParams p;
+            p.words = words;
+            counts = proto.run(p).counts;
+        }
+        const std::string &label = points[pi];
+        std::vector<Row> rows;
+        for (int f = 0; f < numPaperFeatures; ++f) {
+            const auto feat = static_cast<Feature>(f);
+            rows.push_back(
+                {T(label), T(toString(feat)),
+                 paperCount(counts.src.category(feat, Category::Reg)),
+                 paperCount(counts.src.category(feat, Category::Mem)),
+                 paperCount(counts.src.category(feat, Category::Dev)),
+                 paperCount(counts.dst.category(feat, Category::Reg)),
+                 paperCount(counts.dst.category(feat, Category::Mem)),
+                 paperCount(
+                     counts.dst.category(feat, Category::Dev))});
+        }
+        auto catTotal = [](const InstrCounter &c, Category cat) {
+            std::uint64_t sum = 0;
+            for (int f = 0; f < numPaperFeatures; ++f)
+                sum += c.category(static_cast<Feature>(f), cat);
+            return sum;
+        };
+        rows.push_back(
+            {T(label), T("Total"),
+             I(catTotal(counts.src, Category::Reg)),
+             I(catTotal(counts.src, Category::Mem)),
+             I(catTotal(counts.src, Category::Dev)),
+             I(catTotal(counts.dst, Category::Reg)),
+             I(catTotal(counts.dst, Category::Mem)),
+             I(catTotal(counts.dst, Category::Dev))});
+        return rows;
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// F6 — Figure 6: CMAM versus high-level network features.
+// ------------------------------------------------------------------
+
+Experiment
+makeF6()
+{
+    Experiment e;
+    e.name = "F6";
+    e.title = "Figure 6: messaging cost, CMAM vs high-level network "
+              "features";
+    e.columns = {"protocol",   "words",  "cmam src", "cmam dst",
+                 "cmam total", "hl src", "hl dst",   "hl total",
+                 "improvement", "ok"};
+    e.points = {"finite 16", "finite 1024", "indefinite 16",
+                "indefinite 1024"};
+    e.notes = {"Paper: finite improves 10-50% by message size; "
+               "indefinite ~70% independent of size."};
+    e.runPoint = [](std::size_t pi) {
+        const bool finite = pi < 2;
+        const std::uint32_t words = (pi % 2 == 0) ? 16u : 1024u;
+
+        RunResult rc, rh;
+        if (finite) {
+            Stack cm5(paperCm5());
+            FiniteXfer proto(cm5);
+            FiniteXferParams p;
+            p.words = words;
+            rc = proto.run(p);
+            HlStack hl({});
+            HlXferParams hp;
+            hp.words = words;
+            rh = runHlFinite(hl, hp);
+        } else {
+            Stack cm5(paperCm5(/*halfOoo=*/true));
+            StreamProtocol proto(cm5);
+            StreamParams p;
+            p.words = words;
+            rc = proto.run(p);
+            HlStack hl({});
+            HlStreamParams hp;
+            hp.words = words;
+            rh = runHlStream(hl, hp);
+        }
+        const double imp =
+            1.0 - static_cast<double>(rh.counts.paperTotal()) /
+                      static_cast<double>(rc.counts.paperTotal());
+        return std::vector<Row>{
+            {T(finite ? "finite" : "indefinite"), I(words),
+             I(rc.counts.src.paperTotal()),
+             I(rc.counts.dst.paperTotal()), I(rc.counts.paperTotal()),
+             I(rh.counts.src.paperTotal()),
+             I(rh.counts.dst.paperTotal()), I(rh.counts.paperTotal()),
+             R(imp), okCell(rc.dataOk && rh.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// F8 — Figure 8: generalized costs; model vs simulation.
+// ------------------------------------------------------------------
+
+Experiment
+makeF8()
+{
+    Experiment e;
+    e.name = "F8";
+    e.title = "Figure 8: generalized costs vs packet size "
+              "(1024-word message; model cross-checked against "
+              "simulation)";
+    e.columns = {"n",           "fin model",    "fin sim",
+                 "ind model",   "ind sim",      "fin overhead",
+                 "ind overhead"};
+    e.points = {"4", "8", "16", "32", "64", "128"};
+    e.notes = {"Paper: finite overhead ~9-11%; indefinite overhead "
+               "remains significant across the whole range."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr int ns[] = {4, 8, 16, 32, 64, 128};
+        const int n = ns[pi];
+        ProtoParams pp;
+        pp.n = n;
+        pp.words = 1024;
+        pp.oooFraction = 0.5;
+        const auto fin = cmamFiniteModel(pp);
+        const auto str = cmamStreamModel(pp);
+
+        StackConfig cfg = paperCm5();
+        cfg.dataWords = n;
+        Stack s1(cfg);
+        FiniteXfer finP(s1);
+        FiniteXferParams fp;
+        fp.words = 1024;
+        const auto rf = finP.run(fp);
+
+        StackConfig cfg2 = paperCm5(/*halfOoo=*/true);
+        cfg2.dataWords = n;
+        Stack s2(cfg2);
+        StreamProtocol strP(s2);
+        StreamParams sp;
+        sp.words = 1024;
+        const auto rs = strP.run(sp);
+
+        return std::vector<Row>{
+            {I(static_cast<std::uint64_t>(n)), R(fin.grandTotal()),
+             I(rf.counts.paperTotal()), R(str.grandTotal()),
+             I(rs.counts.paperTotal()), R(fin.overheadFraction()),
+             R(str.overheadFraction())}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// D1 — §3.2 group-acknowledgement claim.
+// ------------------------------------------------------------------
+
+Experiment
+makeD1()
+{
+    Experiment e;
+    e.name = "D1";
+    e.title = "Group acknowledgements: indefinite sequence, 1024 "
+              "words, half OOO, ack group sweep";
+    e.columns = {"G", "acks", "fault-tol", "total", "overhead", "ok"};
+    e.points = {"1", "2", "4", "8", "16", "32", "64", "256"};
+    e.notes = {"Paper section 3.2: overhead 'remains significant "
+               "(~40-50%) even if group acknowledgements are "
+               "employed'; our floor is ~56% (in-order delivery "
+               "dominates the residual)."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr int gs[] = {1, 2, 4, 8, 16, 32, 64, 256};
+        const int g = gs[pi];
+        Stack stack(paperCm5(/*halfOoo=*/true));
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = 1024;
+        p.groupAck = g;
+        const auto res = proto.run(p);
+        const auto ft =
+            res.counts.src.featureTotal(Feature::FaultTolerance) +
+            res.counts.dst.featureTotal(Feature::FaultTolerance);
+        return std::vector<Row>{
+            {I(static_cast<std::uint64_t>(g)), I(res.acksSent), I(ft),
+             I(res.counts.paperTotal()),
+             R(res.counts.overheadFraction()), okCell(res.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// D2 — abstract claim: 50-70% overhead.
+// ------------------------------------------------------------------
+
+Experiment
+makeD2()
+{
+    Experiment e;
+    e.name = "D2";
+    e.title = "Abstract claim: overhead is 50-70% of software cost "
+              "in all situations except large finite transfers";
+    e.columns = {"configuration", "overhead"};
+    e.points = {"all"};
+    e.runPoint = [](std::size_t) {
+        ProtoParams p16;
+        p16.words = 16;
+        ProtoParams p1024;
+        p1024.words = 1024;
+        return std::vector<Row>{
+            {T("finite, 16 words"),
+             R(cmamFiniteModel(p16).overheadFraction())},
+            {T("finite, 1024 words (the exception, section 3.3)"),
+             R(cmamFiniteModel(p1024).overheadFraction())},
+            {T("indefinite, 16 words"),
+             R(cmamStreamModel(p16).overheadFraction())},
+            {T("indefinite, 1024 words"),
+             R(cmamStreamModel(p1024).overheadFraction())},
+        };
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// A1 — Appendix A cycle model.
+// ------------------------------------------------------------------
+
+Experiment
+makeA1()
+{
+    Experiment e;
+    e.name = "A1";
+    e.title = "Appendix A cycle model: unit weighting vs CM-5 "
+              "weighting (reg = mem = 1, dev = 5)";
+    e.columns = {"run",      "model",     "base",  "buffer mgmt",
+                 "in-order", "fault-tol", "total", "overhead"};
+    e.points = {"single packet", "finite 16", "finite 1024",
+                "indefinite 1024"};
+    e.notes = {"The 47-instruction single-packet exchange becomes 87 "
+               "cycles under the CM-5 weighting; the dev-heavy base "
+               "cost inflates, so the overhead *fraction* drops — "
+               "which reverses as NIs improve (X3a)."};
+    e.runPoint = [points = e.points](std::size_t pi) {
+        BreakdownCounter counts;
+        if (pi == 0) {
+            Stack stack(paperCm5());
+            counts = runSinglePacket(stack, {}).counts;
+        } else if (pi == 3) {
+            Stack stack(paperCm5(/*halfOoo=*/true));
+            StreamProtocol proto(stack);
+            StreamParams p;
+            p.words = 1024;
+            counts = proto.run(p).counts;
+        } else {
+            Stack stack(paperCm5());
+            FiniteXfer proto(stack);
+            FiniteXferParams p;
+            p.words = pi == 1 ? 16u : 1024u;
+            counts = proto.run(p).counts;
+        }
+        std::vector<Row> rows;
+        for (const CostModel &m :
+             {CostModel::unit(), CostModel::cm5()}) {
+            auto feat = [&](Feature f) {
+                return m.cycles(counts.src, f) +
+                       m.cycles(counts.dst, f);
+            };
+            const double total = m.cycles(counts);
+            const double base = feat(Feature::BaseCost);
+            rows.push_back(
+                {T(points[pi]), T(m.name), R(base),
+                 R(feat(Feature::BufferMgmt)),
+                 R(feat(Feature::InOrderDelivery)),
+                 R(feat(Feature::FaultTolerance)), R(total),
+                 R(total > 0 ? (total - base) / total : 0.0)});
+        }
+        return rows;
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X1 — overhead vs out-of-order fraction.
+// ------------------------------------------------------------------
+
+Experiment
+makeX1()
+{
+    Experiment e;
+    e.name = "X1";
+    e.title = "In-order-delivery cost vs out-of-order fraction "
+              "(indefinite sequence, 4096 words)";
+    e.columns = {"target f", "actual f", "in-order cost", "model",
+                 "overhead", "ok"};
+    e.points = {"0.0", "0.1", "0.2", "0.3", "0.4", "0.5"};
+    e.notes = {"Model evaluated at the realized fraction of each "
+               "run; agreement is exact."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr double fs[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+        const double f = fs[pi];
+        StackConfig cfg = paperCm5();
+        if (f > 0)
+            cfg.order = pairSwapChanceFactory(f / (1.0 - f), 987);
+        Stack stack(cfg);
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = 4096;
+        const auto res = proto.run(p);
+        const double actual = static_cast<double>(res.oooArrivals) /
+                              static_cast<double>(res.packets);
+        ProtoParams pp;
+        pp.words = 4096;
+        pp.oooFraction = actual;
+        const double model =
+            cmamStreamModel(pp).featureTotal(Feature::InOrderDelivery);
+        const auto ord =
+            res.counts.src.featureTotal(Feature::InOrderDelivery) +
+            res.counts.dst.featureTotal(Feature::InOrderDelivery);
+        return std::vector<Row>{
+            {R(f), R(actual), I(ord), R(model),
+             R(res.counts.overheadFraction()), okCell(res.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X2 — software vs hardware fault recovery.
+// ------------------------------------------------------------------
+
+Experiment
+makeX2()
+{
+    Experiment e;
+    e.name = "X2";
+    e.title = "Fault-rate sweep: software recovery (CMAM/CM-5) vs "
+              "hardware recovery (HL/CR), event mode, 1024 words";
+    e.columns = {"drop %",  "cmam instr", "retx",       "dups",
+                 "elapsed", "hl instr",   "hw retries", "ok"};
+    e.points = {"0", "2", "5", "10", "20"};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr double rates[] = {0.0, 0.02, 0.05, 0.10,
+                                           0.20};
+        const double rate = rates[pi];
+        StackConfig cfg = paperCm5();
+        cfg.faults.dropRate = rate;
+        cfg.faults.seed = 404;
+        Stack cm5(cfg);
+        StreamProtocol proto(cm5);
+        StreamParams p;
+        p.words = 1024;
+        p.eventMode = true;
+        p.retxTimeout = 800;
+        p.maxRetx = 4096;
+        const auto rc = proto.run(p);
+
+        HlStackConfig hcfg;
+        hcfg.faults.dropRate = rate;
+        hcfg.faults.seed = 404;
+        HlStack hl(hcfg);
+        HlStreamParams hp;
+        hp.words = 1024;
+        hp.eventMode = true;
+        const auto rh = runHlStream(hl, hp);
+
+        return std::vector<Row>{
+            {R(rate * 100), I(rc.counts.paperTotal()),
+             I(rc.retransmissions), I(rc.duplicates), I(rc.elapsed),
+             I(rh.counts.paperTotal()),
+             I(hl.machine().network().stats().hwRetries),
+             okCell(rc.dataOk && rh.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X3a — the NI-improvement paradox (dev-weight sweep).
+// ------------------------------------------------------------------
+
+Experiment
+makeX3a()
+{
+    Experiment e;
+    e.name = "X3a";
+    e.title = "NI design ablation: overhead fraction vs dev access "
+              "cost (1024-word message, n = 4)";
+    e.columns = {"NI model", "dev weight", "finite overhead",
+                 "indefinite overhead", "cmam/hl stream"};
+    e.points = {"dev 5", "dev 3", "dev 2", "dev 1"};
+    e.notes = {"Paper section 5: reducing the base cost increases "
+               "the importance of the remaining messaging layer — "
+               "the overhead fraction RISES as the NI improves."};
+    e.runPoint = [](std::size_t pi) {
+        struct Ni
+        {
+            const char *name;
+            double w;
+        };
+        static constexpr Ni nis[] = {
+            {"CM-5 memory-mapped", 5.0},
+            {"improved bus NI", 3.0},
+            {"coprocessor NI", 2.0},
+            {"on-chip NI, reg-mapped", 1.0},
+        };
+        ProtoParams pp;
+        pp.words = 1024;
+        pp.oooFraction = 0.5;
+        const auto fin = cmamFiniteModel(pp);
+        const auto str = cmamStreamModel(pp);
+        const auto hl = hlStreamModel(pp);
+
+        auto overheadUnder = [](const FeatureBreakdown &bd,
+                                const CostModel &m) {
+            const double base =
+                bd.at(Feature::BaseCost, Direction::Source)
+                    .weighted(m) +
+                bd.at(Feature::BaseCost, Direction::Destination)
+                    .weighted(m);
+            const double total = bd.weightedTotal(m);
+            return (total - base) / total;
+        };
+
+        const Ni &ni = nis[pi];
+        const CostModel m{"sweep", 1.0, 1.0, ni.w};
+        return std::vector<Row>{
+            {T(ni.name), R(ni.w), R(overheadUnder(fin, m)),
+             R(overheadUnder(str, m)),
+             R(str.weightedTotal(m) / hl.weightedTotal(m))}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X3b — DMA vs programmed I/O.
+// ------------------------------------------------------------------
+
+Experiment
+makeX3b()
+{
+    Experiment e;
+    e.name = "X3b";
+    e.title = "DMA vs programmed I/O: finite sequence, 1024-word "
+              "message";
+    e.columns = {"n",         "pio instr", "pio overhead",
+                 "dma instr", "dma overhead", "ok"};
+    e.points = {"4", "16", "64", "128"};
+    e.notes = {"DMA shrinks the base cost but not one instruction of "
+               "the handshake/ordering/ack machinery — the overhead "
+               "fraction rises (paper section 5)."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr int ns[] = {4, 16, 64, 128};
+        const int n = ns[pi];
+        StackConfig pioCfg = paperCm5();
+        pioCfg.dataWords = n;
+        Stack pio(pioCfg);
+        FiniteXfer p1(pio);
+        FiniteXferParams params;
+        params.words = 1024;
+        const auto r1 = p1.run(params);
+
+        StackConfig dmaCfg = pioCfg;
+        dmaCfg.dmaXfer = true;
+        Stack dma(dmaCfg);
+        FiniteXfer p2(dma);
+        params.dma = true;
+        const auto r2 = p2.run(params);
+
+        return std::vector<Row>{
+            {I(static_cast<std::uint64_t>(n)),
+             I(r1.counts.paperTotal()),
+             R(r1.counts.overheadFraction()),
+             I(r2.counts.paperTotal()),
+             R(r2.counts.overheadFraction()),
+             okCell(r1.dataOk && r2.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X4a — polling discipline: calibration vs event mode.
+// ------------------------------------------------------------------
+
+Experiment
+makeX4a()
+{
+    Experiment e;
+    e.name = "X4a";
+    e.title = "Polling overhead: calibration (minimum path) vs "
+              "event-driven execution";
+    e.columns = {"workload", "calibration", "event mode", "extra",
+                 "ok"};
+    e.points = {"finite 16",  "finite 256",  "finite 1024",
+                "stream 16",  "stream 256",  "stream 1024",
+                "jitter 0",   "jitter 40",   "jitter 200"};
+    e.notes = {"The paper's tables are the lower envelope: "
+               "arrival-driven schedules pay extra poll entries "
+               "(12 reg + 1 dev each), and scattered arrivals defeat "
+               "poll batching."};
+    e.runPoint = [points = e.points](std::size_t pi) {
+        const std::string &label = points[pi];
+        std::uint64_t cal = 0, evt = 0;
+        bool ok = true;
+        if (pi < 3) {
+            static constexpr std::uint32_t ws[] = {16, 256, 1024};
+            const std::uint32_t words = ws[pi];
+            Stack s1(paperCm5());
+            FiniteXfer pcal(s1);
+            FiniteXferParams p;
+            p.words = words;
+            cal = pcal.run(p).counts.paperTotal();
+            Stack s2(paperCm5());
+            FiniteXfer pevt(s2);
+            p.eventMode = true;
+            const auto re = pevt.run(p);
+            evt = re.counts.paperTotal();
+            ok = re.dataOk;
+        } else if (pi < 6) {
+            static constexpr std::uint32_t ws[] = {16, 256, 1024};
+            const std::uint32_t words = ws[pi - 3];
+            Stack s1(paperCm5());
+            StreamProtocol pcal(s1);
+            StreamParams p;
+            p.words = words;
+            cal = pcal.run(p).counts.paperTotal();
+            Stack s2(paperCm5());
+            StreamProtocol pevt(s2);
+            p.eventMode = true;
+            const auto re = pevt.run(p);
+            evt = re.counts.paperTotal();
+            ok = re.dataOk;
+        } else {
+            static constexpr Tick jitters[] = {0, 40, 200};
+            const Tick jitter = jitters[pi - 6];
+            Stack s1(paperCm5());
+            StreamProtocol pcal(s1);
+            StreamParams p;
+            p.words = 256;
+            cal = pcal.run(p).counts.paperTotal();
+            StackConfig jcfg = paperCm5();
+            jcfg.maxJitter = jitter;
+            Stack s2(jcfg);
+            StreamProtocol pevt(s2);
+            p.eventMode = true;
+            const auto re = pevt.run(p);
+            evt = re.counts.paperTotal();
+            ok = re.dataOk;
+        }
+        const double extra = static_cast<double>(evt) /
+                                 static_cast<double>(cal) -
+                             1.0;
+        return std::vector<Row>{
+            {T(label), I(cal), I(evt), R(extra), okCell(ok)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X4b — interrupt-driven reception (paper footnote 2).
+// ------------------------------------------------------------------
+
+Experiment
+makeX4b()
+{
+    Experiment e;
+    e.name = "X4b";
+    e.title = "Reception discipline: poll vs interrupt (256-word "
+              "stream, event mode)";
+    e.columns = {"jitter", "poll instr", "intr instr", "traps",
+                 "penalty", "ok"};
+    e.points = {"0", "10", "40", "160"};
+    e.notes = {"One ~98-instruction SPARC trap per service vs a "
+               "13-instruction poll entry — footnote 2's rationale "
+               "for polling."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr Tick jitters[] = {0, 10, 40, 160};
+        const Tick jitter = jitters[pi];
+        StackConfig cfg = paperCm5();
+        cfg.maxJitter = jitter;
+
+        Stack s1(cfg);
+        StreamProtocol p1(s1);
+        StreamParams params;
+        params.words = 256;
+        params.eventMode = true;
+        params.discipline = RecvDiscipline::Poll;
+        const auto polled = p1.run(params);
+
+        Stack s2(cfg);
+        StreamProtocol p2(s2);
+        params.discipline = RecvDiscipline::Interrupt;
+        const auto intr = p2.run(params);
+
+        const auto traps = s2.cmam(0).interruptsTaken() +
+                           s2.cmam(1).interruptsTaken();
+        const double penalty =
+            static_cast<double>(intr.counts.paperTotal()) /
+                static_cast<double>(polled.counts.paperTotal()) -
+            1.0;
+        return std::vector<Row>{
+            {I(jitter), I(polled.counts.paperTotal()),
+             I(intr.counts.paperTotal()), I(traps), R(penalty),
+             okCell(polled.dataOk && intr.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X5 — protection: user-level vs kernel-mediated NI access.
+// ------------------------------------------------------------------
+
+Experiment
+makeX5()
+{
+    Experiment e;
+    e.name = "X5";
+    e.title = "User-level vs kernel-mediated NI access (120 modeled "
+              "instructions per crossing)";
+    e.columns = {"workload", "user-level", "kernel", "blowup"};
+    e.points = {"single packet", "finite 16", "finite 1024",
+                "stream 16", "stream 1024"};
+    e.notes = {"Per-packet user calls (streams) are crushed by "
+               "per-call kernel crossings; batched calls (the xfer "
+               "loop) amortize them (paper section 3.1/5)."};
+    e.runPoint = [points = e.points](std::size_t pi) {
+        auto runOne = [pi](bool kernel) -> std::uint64_t {
+            StackConfig cfg =
+                paperCm5(/*halfOoo=*/pi == 3 || pi == 4);
+            cfg.kernelMediated = kernel;
+            Stack stack(cfg);
+            if (pi == 0)
+                return runSinglePacket(stack, {})
+                    .counts.paperTotal();
+            if (pi == 1 || pi == 2) {
+                FiniteXfer proto(stack);
+                FiniteXferParams p;
+                p.words = pi == 1 ? 16u : 1024u;
+                return proto.run(p).counts.paperTotal();
+            }
+            StreamProtocol proto(stack);
+            StreamParams p;
+            p.words = pi == 3 ? 16u : 1024u;
+            return proto.run(p).counts.paperTotal();
+        };
+        const std::uint64_t user = runOne(false);
+        const std::uint64_t kernel = runOne(true);
+        return std::vector<Row>{
+            {T(points[pi]), I(user), I(kernel),
+             R(static_cast<double>(kernel) /
+               static_cast<double>(user))}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X6 — wire vs software latency.
+// ------------------------------------------------------------------
+
+Experiment
+makeX6()
+{
+    Experiment e;
+    e.name = "X6";
+    e.title = "Latency / bandwidth vs message size (event mode, "
+              "link serialization 5 ticks/packet)";
+    e.columns = {"words", "cmam wire", "cmam sw", "hl wire", "hl sw",
+                 "sw ratio", "ok"};
+    e.points = {"16", "64", "256", "1024", "4096"};
+    e.notes = {"wire = simulated ticks to deliver and acknowledge; "
+               "sw = modeled cycles under the Appendix A weighting. "
+               "Both substrates saturate the same links; the "
+               "software bill separates them."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr std::uint32_t ws[] = {16, 64, 256, 1024,
+                                               4096};
+        const std::uint32_t words = ws[pi];
+        StackConfig cfg = paperCm5();
+        cfg.memWords = 1u << 24;
+        cfg.injectGap = 5;
+        cfg.deliverGap = 5;
+        Stack cm5(cfg);
+        StreamProtocol proto(cm5);
+        StreamParams p;
+        p.words = words;
+        p.eventMode = true;
+        p.retxTimeout = 100'000;
+        const auto rc = proto.run(p);
+
+        HlStackConfig hcfg;
+        hcfg.memWords = 1u << 24;
+        hcfg.injectGap = 5;
+        hcfg.deliverGap = 5;
+        HlStack hl(hcfg);
+        HlStreamParams hp;
+        hp.words = words;
+        hp.eventMode = true;
+        const auto rh = runHlStream(hl, hp);
+
+        const CostModel m = CostModel::cm5();
+        const double swC = m.cycles(rc.counts);
+        const double swH = m.cycles(rh.counts);
+        return std::vector<Row>{
+            {I(words), I(rc.elapsed), R(swC), I(rh.elapsed), R(swH),
+             R(swC / swH), okCell(rc.dataOk && rh.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X7 — collectives over active messages.
+// ------------------------------------------------------------------
+
+Experiment
+makeX7()
+{
+    Experiment e;
+    e.name = "X7";
+    e.title = "Collectives on active messages: cost vs machine size";
+    e.columns = {"nodes",       "barrier msgs", "barrier instr",
+                 "barrier t",   "bcast msgs",   "bcast instr",
+                 "bcast t",     "allreduce msgs",
+                 "allreduce instr", "allreduce t", "ok"};
+    e.points = {"2", "4", "8", "16", "32", "64"};
+    e.notes = {"Per-node cost grows as log2(N) x (send 20 + recv 27 "
+               "+ handler work): the paper's single-packet numbers "
+               "are the coin these algorithms spend."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr std::uint32_t nodes[] = {2, 4, 8, 16, 32,
+                                                  64};
+        const std::uint32_t n = nodes[pi];
+        StackConfig cfg;
+        cfg.nodes = n;
+        Stack stack(cfg);
+        Collectives coll(stack);
+
+        const auto bar = coll.barrier();
+        std::vector<Word> out;
+        const auto bc = coll.broadcast(0, 42, out);
+        std::vector<Word> in(n, 1), all;
+        const auto ar =
+            coll.allReduce(Collectives::ReduceOp::Sum, in, all);
+
+        return std::vector<Row>{
+            {I(n), I(bar.messages), I(bar.instructions),
+             I(bar.elapsed), I(bc.messages), I(bc.instructions),
+             I(bc.elapsed), I(ar.messages), I(ar.instructions),
+             I(ar.elapsed), okCell(bar.ok && bc.ok && ar.ok)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X8 — software flow control: window sweep.
+// ------------------------------------------------------------------
+
+Experiment
+makeX8()
+{
+    Experiment e;
+    e.name = "X8";
+    e.title = "Ack-paced window sweep: 1024-word stream, link "
+              "serialization 5 ticks/packet";
+    e.columns = {"window", "elapsed", "words/kilotick", "acks", "ok"};
+    e.points = {"1", "2", "4", "8", "16", "32", "64", "inf"};
+    e.notes = {"Once the window covers the bandwidth-delay product, "
+               "throughput saturates at the serialization limit — "
+               "hardware end-to-end flow control (CR) gets this "
+               "without any window bookkeeping."};
+    e.runPoint = [points = e.points](std::size_t pi) {
+        static constexpr std::uint32_t ws[] = {1, 2, 4, 8,
+                                               16, 32, 64, 0};
+        const std::uint32_t w = ws[pi];
+        StackConfig cfg = paperCm5();
+        cfg.memWords = 1u << 24;
+        cfg.injectGap = 5;
+        cfg.deliverGap = 5;
+        Stack stack(cfg);
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = 1024;
+        p.eventMode = true;
+        p.window = w;
+        p.retxTimeout = 200'000;
+        const auto res = proto.run(p);
+        const double bw =
+            res.elapsed
+                ? 1000.0 * 1024.0 / static_cast<double>(res.elapsed)
+                : 0.0;
+        return std::vector<Row>{
+            {T(points[pi]), I(res.elapsed), R(bw), I(res.acksSent),
+             okCell(res.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X9 — traffic patterns.
+// ------------------------------------------------------------------
+
+Experiment
+makeX9()
+{
+    Experiment e;
+    e.name = "X9";
+    e.title = "AM traffic patterns: 32 nodes, 64 messages/node, "
+              "link serialization 5 ticks/packet";
+    e.columns = {"pattern", "msgs", "instr/node", "imbalance",
+                 "elapsed", "ok"};
+    e.points = {"uniform", "permutation", "hotspot", "ring",
+                "transpose"};
+    e.notes = {"Hotspot traffic concentrates the per-packet receive "
+               "cost on one processor — software overhead is also a "
+               "load-balance problem."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr TrafficPattern patterns[] = {
+            TrafficPattern::UniformRandom, TrafficPattern::Permutation,
+            TrafficPattern::Hotspot, TrafficPattern::Ring,
+            TrafficPattern::Transpose};
+        const TrafficPattern pattern = patterns[pi];
+        StackConfig cfg = paperCm5();
+        cfg.nodes = 32;
+        cfg.injectGap = 5;
+        cfg.deliverGap = 5;
+        cfg.maxJitter = 10;
+        Stack stack(cfg);
+        TrafficRunner runner(stack);
+        TrafficGen gen(32, pattern, 77);
+        const auto res = runner.run(gen, 64);
+        return std::vector<Row>{
+            {T(toString(pattern)), I(res.messages),
+             R(res.perNodeInstr.mean()), R(res.maxOverMean),
+             I(res.elapsed), okCell(res.ok)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// X10 — dual data networks (paper footnote 6).
+// ------------------------------------------------------------------
+
+Experiment
+makeX10()
+{
+    Experiment e;
+    e.name = "X10";
+    e.title = "Dual data networks: replies ride virtual network 1 "
+              "past a saturated request FIFO";
+    e.columns = {"metric", "value"};
+    e.points = {"all"};
+    e.notes = {"Paper footnote 6: the CM-5's two data networks keep "
+               "round trips safe when request traffic backs up; "
+               "calibration counts are unchanged."};
+    e.runPoint = [](std::size_t) {
+        StackConfig cfg = paperCm5();
+        cfg.nodes = 3;
+        cfg.recvCapacity = 2; // per virtual network
+        Stack stack(cfg);
+        Node &dst = stack.node(1);
+        const int h = stack.cmam(1).registerHandler(
+            [](NodeId, const std::vector<Word> &) {});
+
+        // Two requests fill vnet 0 on node 1; a third is refused.
+        stack.cmam(0).am4(1, h, {1});
+        stack.cmam(0).am4(1, h, {2});
+        stack.settle();
+        const auto depth0 = dst.ni().hwRecvDepth(0);
+        stack.cmam(2).am4(1, h, {3});
+        stack.machine().sim().run(500);
+        const auto refusals = dst.ni().recvRefusals();
+        const auto depth0After = dst.ni().hwRecvDepth(0);
+
+        // A reply-class packet sails through on vnet 1.
+        stack.cmam(2).sendTagged(
+            HwTag::UserAm, 1,
+            hdr::pack(static_cast<std::uint32_t>(h), 0), {99}, 4,
+            /*vnet=*/1);
+        stack.machine().sim().run(500);
+        const auto depth1 = dst.ni().hwRecvDepth(1);
+
+        // Calibration counts are unchanged by the dual-network NI.
+        Stack fresh(paperCm5());
+        const auto sp = runSinglePacket(fresh, {});
+
+        return std::vector<Row>{
+            {T("request fifo depth (vnet 0) after fill"), I(depth0)},
+            {T("recv refusals after third request"), I(refusals)},
+            {T("request fifo depth (vnet 0) after refusal"),
+             I(depth0After)},
+            {T("reply fifo depth (vnet 1) after reply"), I(depth1)},
+            {T("single-packet src instructions"),
+             I(sp.counts.src.paperTotal())},
+            {T("single-packet dst instructions"),
+             I(sp.counts.dst.paperTotal())},
+        };
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// S1 — asymptotic overhead at large message sizes.
+// ------------------------------------------------------------------
+
+Experiment
+makeS1()
+{
+    Experiment e;
+    e.name = "S1";
+    e.title = "Asymptotic overhead: the abstract's claims at large "
+              "message sizes (16K-256K words)";
+    e.columns = {"protocol", "words", "ooo f", "total instr",
+                 "overhead", "ok"};
+    e.points = {"fin 65536",     "fin 262144",    "ind 65536 f=.5",
+                "ind 262144 f=.5", "ind 262144 f=.25",
+                "ind 262144 f=0"};
+    e.notes = {"Paper abstract: overhead is 50-70% 'in all cases "
+               "except large transfers with known size'.  The 1024 "
+               "-word tables are not an artifact of small messages: "
+               "finite overhead settles near 11% (per-packet buffer "
+               "and ordering work that no message size amortizes "
+               "away), indefinite overhead converges to a size "
+               "-independent ~71% plateau.",
+               "These are the sweep's heavyweight points — the "
+               "parallel runner overlaps them with the rest of the "
+               "E-index."};
+    e.runPoint = [points = e.points](std::size_t pi) {
+        const bool finite = pi < 2;
+        static constexpr std::uint32_t ws[] = {65536, 262144, 65536,
+                                               262144, 262144, 262144};
+        static constexpr double fs[] = {0, 0, 0.5, 0.5, 0.25, 0.0};
+        const std::uint32_t words = ws[pi];
+        const double f = fs[pi];
+
+        StackConfig cfg = paperCm5();
+        cfg.memWords = 1u << 22;
+        if (f == 0.5)
+            cfg.order = swapAdjacentFactory();
+        else if (f > 0)
+            cfg.order = pairSwapChanceFactory(f / (1.0 - f), 987);
+
+        RunResult res;
+        if (finite) {
+            Stack stack(cfg);
+            FiniteXfer proto(stack);
+            FiniteXferParams p;
+            p.words = words;
+            res = proto.run(p);
+        } else {
+            Stack stack(cfg);
+            StreamProtocol proto(stack);
+            StreamParams p;
+            p.words = words;
+            res = proto.run(p);
+        }
+        return std::vector<Row>{
+            {T(finite ? "finite" : "indefinite"), I(words), R(f),
+             I(res.counts.paperTotal()),
+             R(res.counts.overheadFraction()), okCell(res.dataOk)}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// P1 — perf trajectory: simulator packet throughput (host
+// wall-clock; NOT deterministic, excluded from golden gating).
+// ------------------------------------------------------------------
+
+Experiment
+makeP1()
+{
+    Experiment e;
+    e.name = "P1";
+    e.title = "Simulator micro throughput: packets/s through each "
+              "substrate (host wall-clock)";
+    e.deterministic = false;
+    e.columns = {"substrate", "packets", "wall us", "packets/s"};
+    e.points = {"cm5", "cr", "cmam am4"};
+    e.notes = {"Measures this repository's simulator, not the "
+               "modeled machine; feeds the repo-root "
+               "BENCH_throughput.json perf trajectory."};
+    e.runPoint = [](std::size_t pi) {
+        constexpr std::uint64_t kPackets = 200'000;
+        using clock = std::chrono::steady_clock;
+        std::uint64_t delivered = 0;
+        double wallUs = 0;
+        const char *label = "";
+
+        if (pi == 0 || pi == 1) {
+            label = pi == 0 ? "cm5 network" : "cr network";
+            Simulator sim;
+            std::unique_ptr<Network> net;
+            if (pi == 0) {
+                Cm5Network::Config cfg;
+                cfg.nodes = 16;
+                net = std::make_unique<Cm5Network>(sim, cfg);
+            } else {
+                CrNetwork::Config cfg;
+                cfg.nodes = 16;
+                net = std::make_unique<CrNetwork>(sim, cfg);
+            }
+            net->attach(1, [&delivered](Packet &&) {
+                ++delivered;
+                return true;
+            });
+            const auto t0 = clock::now();
+            for (std::uint64_t i = 0; i < kPackets; ++i) {
+                net->inject(
+                    Packet(0, 1, HwTag::UserAm, 0, {1, 2, 3, 4}));
+                sim.run();
+            }
+            wallUs = std::chrono::duration<double, std::micro>(
+                         clock::now() - t0)
+                         .count();
+        } else {
+            label = "cmam am4 round";
+            StackConfig cfg;
+            cfg.nodes = 2;
+            Stack stack(cfg);
+            const int h = stack.cmam(1).registerHandler(
+                [](NodeId, const std::vector<Word> &) {});
+            const auto t0 = clock::now();
+            for (std::uint64_t i = 0; i < kPackets / 4; ++i) {
+                stack.cmam(0).am4(1, h, {1, 2, 3, 4});
+                stack.settle();
+                stack.cmam(1).poll();
+                ++delivered;
+            }
+            wallUs = std::chrono::duration<double, std::micro>(
+                         clock::now() - t0)
+                         .count();
+        }
+        const double perSec =
+            wallUs > 0 ? 1e6 * static_cast<double>(delivered) / wallUs
+                       : 0.0;
+        return std::vector<Row>{
+            {T(label), I(delivered), R(wallUs), R(perSec)}};
+    };
+    return e;
+}
+
+void
+registerBuiltins(ExperimentRegistry &reg)
+{
+    reg.add(makeT1());
+    reg.add(makeT2a());
+    reg.add(makeT2b());
+    reg.add(makeT3());
+    reg.add(makeF6());
+    reg.add(makeF8());
+    reg.add(makeD1());
+    reg.add(makeD2());
+    reg.add(makeA1());
+    reg.add(makeX1());
+    reg.add(makeX2());
+    reg.add(makeX3a());
+    reg.add(makeX3b());
+    reg.add(makeX4a());
+    reg.add(makeX4b());
+    reg.add(makeX5());
+    reg.add(makeX6());
+    reg.add(makeX7());
+    reg.add(makeX8());
+    reg.add(makeX9());
+    reg.add(makeX10());
+    reg.add(makeS1());
+    reg.add(makeP1());
+}
+
+} // namespace
+
+ExperimentRegistry &
+builtinRegistry()
+{
+    static ExperimentRegistry reg = [] {
+        ExperimentRegistry r;
+        registerBuiltins(r);
+        return r;
+    }();
+    return reg;
+}
+
+} // namespace msgsim::lab

@@ -1,0 +1,65 @@
+#include "lab/registry.hh"
+
+#include "sim/log.hh"
+
+namespace msgsim::lab
+{
+
+bool
+globMatch(const std::string &pattern, const std::string &str)
+{
+    // Classic iterative wildcard match with backtracking on '*'.
+    std::size_t p = 0, s = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (s < str.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == str[s])) {
+            ++p;
+            ++s;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = s;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            s = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+void
+ExperimentRegistry::add(Experiment e)
+{
+    if (find(e.name))
+        msgsim_fatal("duplicate experiment name: ", e.name);
+    if (!e.runPoint)
+        msgsim_fatal("experiment ", e.name, " has no run function");
+    if (e.points.empty())
+        msgsim_fatal("experiment ", e.name, " has no grid points");
+    experiments_.push_back(std::move(e));
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    for (const auto &e : experiments_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::match(const std::string &glob) const
+{
+    std::vector<const Experiment *> out;
+    for (const auto &e : experiments_)
+        if (globMatch(glob, e.name))
+            out.push_back(&e);
+    return out;
+}
+
+} // namespace msgsim::lab

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Central experiment registry: ordered, name-unique, glob-selectable.
+ *
+ * Registration order is significant — it is the order experiments
+ * run and report in, so `msgsim-lab --all` output is stable across
+ * builds and thread counts.
+ */
+
+#ifndef MSGSIM_LAB_REGISTRY_HH
+#define MSGSIM_LAB_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "lab/experiment.hh"
+
+namespace msgsim::lab
+{
+
+/** Case-sensitive glob match supporting '*' and '?'. */
+bool globMatch(const std::string &pattern, const std::string &str);
+
+/**
+ * An ordered collection of experiments.
+ */
+class ExperimentRegistry
+{
+  public:
+    /** Register @p e; fatal on a duplicate name. */
+    void add(Experiment e);
+
+    /** All experiments, in registration order. */
+    const std::vector<Experiment> &all() const { return experiments_; }
+
+    /** Lookup by exact name; nullptr when absent. */
+    const Experiment *find(const std::string &name) const;
+
+    /** All experiments whose name matches @p glob, in order. */
+    std::vector<const Experiment *>
+    match(const std::string &glob) const;
+
+  private:
+    std::vector<Experiment> experiments_;
+};
+
+/**
+ * The registry holding the built-in E-index experiments, populated
+ * on first use (definitions live in experiments.cc).
+ */
+ExperimentRegistry &builtinRegistry();
+
+} // namespace msgsim::lab
+
+#endif // MSGSIM_LAB_REGISTRY_HH

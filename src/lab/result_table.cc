@@ -1,0 +1,157 @@
+#include "lab/result_table.hh"
+
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace msgsim::lab
+{
+
+std::string
+Cell::str() const
+{
+    switch (kind) {
+      case Kind::Null:
+        return "-";
+      case Kind::Int:
+        return std::to_string(i);
+      case Kind::Real: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", r);
+        return buf;
+      }
+      case Kind::Text:
+        return s;
+    }
+    return "-";
+}
+
+Json
+Cell::toJson() const
+{
+    switch (kind) {
+      case Kind::Null:
+        return Json();
+      case Kind::Int:
+        return Json(i);
+      case Kind::Real:
+        return Json(r);
+      case Kind::Text:
+        return Json(s);
+    }
+    return Json();
+}
+
+Cell
+Cell::fromJson(const Json &j)
+{
+    switch (j.kind()) {
+      case Json::Kind::Null:
+        return Cell::null();
+      case Json::Kind::Int:
+        return Cell::integer(static_cast<std::uint64_t>(j.asInt()));
+      case Json::Kind::Real:
+        return Cell::real(j.asReal());
+      case Json::Kind::String:
+        return Cell::text(j.asString());
+      default:
+        msgsim_fatal("golden cell is not a scalar: ", j.dump());
+    }
+}
+
+void
+ResultTable::addRow(Row row)
+{
+    if (row.size() != columns.size())
+        msgsim_panic("ResultTable '", name, "': row has ", row.size(),
+                     " cells, table has ", columns.size(), " columns");
+    rows.push_back(std::move(row));
+}
+
+std::string
+ResultTable::markdown() const
+{
+    std::string out = "### " + name + " — " + title + "\n\n";
+    out += "|";
+    for (const auto &c : columns)
+        out += " " + c + " |";
+    out += "\n|";
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        out += "---|";
+    out += "\n";
+    for (const auto &row : rows) {
+        out += "|";
+        for (const auto &cell : row)
+            out += " " + cell.str() + " |";
+        out += "\n";
+    }
+    for (const auto &n : notes)
+        out += "\n> " + n + "\n";
+    return out;
+}
+
+std::string
+ResultTable::csv() const
+{
+    auto field = [](const std::string &v) {
+        if (v.find_first_of(",\"\n") == std::string::npos)
+            return v;
+        std::string q = "\"";
+        for (char c : v) {
+            if (c == '"')
+                q += '"';
+            q += c;
+        }
+        q += '"';
+        return q;
+    };
+    std::string out;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out += ",";
+        out += field(columns[i]);
+    }
+    out += "\n";
+    for (const auto &row : rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ",";
+            out += field(row[i].str());
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+Json
+ResultTable::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("experiment", name);
+    doc.set("title", title);
+    Json cols = Json::array();
+    for (const auto &c : columns)
+        cols.push(Json(c));
+    doc.set("columns", std::move(cols));
+    Json jrows = Json::array();
+    for (const auto &row : rows) {
+        Json jrow = Json::array();
+        for (const auto &cell : row)
+            jrow.push(cell.toJson());
+        jrows.push(std::move(jrow));
+    }
+    doc.set("rows", std::move(jrows));
+    Json jnotes = Json::array();
+    for (const auto &n : notes)
+        jnotes.push(Json(n));
+    doc.set("notes", std::move(jnotes));
+    return doc;
+}
+
+std::string
+ResultTable::jsonText() const
+{
+    return toJson().dump(2);
+}
+
+} // namespace msgsim::lab

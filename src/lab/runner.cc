@@ -1,0 +1,112 @@
+#include "lab/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/log.hh"
+
+namespace msgsim::lab
+{
+
+namespace
+{
+
+/** One schedulable unit: a single grid point of one experiment. */
+struct Task
+{
+    std::size_t expIndex;
+    std::size_t pointIndex;
+};
+
+} // namespace
+
+std::vector<ResultTable>
+SweepRunner::run(const std::vector<const Experiment *> &selection)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    stats_ = {};
+    stats_.experiments = selection.size();
+
+    // Flatten the grid into tasks and pre-assign result slots so
+    // completion order cannot affect merge order.
+    std::vector<Task> tasks;
+    std::vector<std::vector<std::vector<Row>>> slots(selection.size());
+    for (std::size_t e = 0; e < selection.size(); ++e) {
+        slots[e].resize(selection[e]->points.size());
+        for (std::size_t p = 0; p < selection[e]->points.size(); ++p)
+            tasks.push_back({e, p});
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+    std::mutex progressMutex;
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            const Task &task = tasks[i];
+            const Experiment &exp = *selection[task.expIndex];
+            try {
+                slots[task.expIndex][task.pointIndex] =
+                    exp.runPoint(task.pointIndex);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                return;
+            }
+            if (opts_.progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                std::fprintf(stderr, "  [%zu/%zu] %s / %s\n", i + 1,
+                             tasks.size(), exp.name.c_str(),
+                             exp.points[task.pointIndex].c_str());
+            }
+        }
+    };
+
+    const int jobs = opts_.jobs < 1 ? 1 : opts_.jobs;
+    if (jobs == 1 || tasks.size() <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        const std::size_t n =
+            std::min(static_cast<std::size_t>(jobs), tasks.size());
+        pool.reserve(n);
+        for (std::size_t t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    // Deterministic merge: experiments in selection order, points in
+    // grid order.
+    std::vector<ResultTable> tables;
+    tables.reserve(selection.size());
+    for (std::size_t e = 0; e < selection.size(); ++e) {
+        ResultTable table = selection[e]->shell();
+        for (auto &pointRows : slots[e]) {
+            for (auto &row : pointRows)
+                table.addRow(std::move(row));
+            stats_.pointsRun += 1;
+        }
+        stats_.rowsEmitted += table.rows.size();
+        tables.push_back(std::move(table));
+    }
+    stats_.wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return tables;
+}
+
+} // namespace msgsim::lab

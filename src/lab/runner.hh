@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Parallel sweep execution over (experiment, grid-point) tasks.
+ *
+ * Every grid point is an independent seeded simulation, so points run
+ * concurrently on a thread pool.  Results land in pre-assigned slots
+ * and are merged in registration/grid order, which makes the output
+ * byte-identical across `-j` values — the property the determinism
+ * regression test pins.
+ */
+
+#ifndef MSGSIM_LAB_RUNNER_HH
+#define MSGSIM_LAB_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "lab/experiment.hh"
+
+namespace msgsim::lab
+{
+
+/** Sweep-execution options. */
+struct SweepOptions
+{
+    int jobs = 1;        ///< worker threads (1 = run inline)
+    bool progress = false; ///< print one line per finished point
+};
+
+/** Aggregate statistics of one sweep. */
+struct SweepStats
+{
+    std::uint64_t experiments = 0;
+    std::uint64_t pointsRun = 0;
+    std::uint64_t rowsEmitted = 0;
+    double wallMs = 0.0; ///< host wall-clock of the whole sweep
+};
+
+/**
+ * Executes selected experiments' grid points on a thread pool and
+ * assembles one ResultTable per experiment.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const SweepOptions &opts) : opts_(opts) {}
+
+    /**
+     * Run every point of every experiment in @p selection.
+     * Returns the assembled tables in selection order.
+     */
+    std::vector<ResultTable>
+    run(const std::vector<const Experiment *> &selection);
+
+    /** Statistics of the last run() call. */
+    const SweepStats &stats() const { return stats_; }
+
+  private:
+    SweepOptions opts_;
+    SweepStats stats_;
+};
+
+} // namespace msgsim::lab
+
+#endif // MSGSIM_LAB_RUNNER_HH

@@ -13,6 +13,7 @@
 #define MSGSIM_MACHINE_MEMORY_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/types.hh"
@@ -23,22 +24,33 @@ namespace msgsim
 
 /**
  * Flat word-addressed node memory with a bump allocator.
+ *
+ * Backing storage is demand-paged: pages materialize (zero-filled)
+ * on first write, and reads of untouched words return 0 — exactly
+ * the semantics of the previous eagerly-zeroed array, but a node
+ * with a large address space no longer costs its full capacity in
+ * host memory and page-zeroing time.  That matters to the lab's
+ * parallel sweeps, where many stacks are built per second.
  */
 class Memory
 {
   public:
     /** @param words capacity in 32-bit words. */
-    explicit Memory(std::size_t words = 1u << 20) : words_(words, 0) {}
+    explicit Memory(std::size_t words = 1u << 20)
+        : size_(words), pages_((words + pageWords - 1) / pageWords)
+    {
+    }
 
     /** Capacity in words. */
-    std::size_t size() const { return words_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Read one word. */
     Word
     read(Addr addr) const
     {
         check(addr);
-        return words_[addr];
+        const auto &page = pages_[addr / pageWords];
+        return page ? (*page)[addr % pageWords] : 0;
     }
 
     /** Write one word. */
@@ -46,7 +58,10 @@ class Memory
     write(Addr addr, Word value)
     {
         check(addr);
-        words_[addr] = value;
+        auto &page = pages_[addr / pageWords];
+        if (!page)
+            page = std::make_unique<std::vector<Word>>(pageWords, 0);
+        (*page)[addr % pageWords] = value;
     }
 
     /**
@@ -57,9 +72,9 @@ class Memory
     Addr
     alloc(std::size_t words)
     {
-        if (brk_ + words > words_.size())
+        if (brk_ + words > size_)
             msgsim_fatal("node memory exhausted: want ", words,
-                         " words at brk ", brk_, " of ", words_.size());
+                         " words at brk ", brk_, " of ", size_);
         const Addr base = static_cast<Addr>(brk_);
         brk_ += words;
         return base;
@@ -69,15 +84,18 @@ class Memory
     std::size_t allocated() const { return brk_; }
 
   private:
+    static constexpr std::size_t pageWords = 1u << 14;
+
     void
     check(Addr addr) const
     {
-        if (addr >= words_.size())
+        if (addr >= size_)
             msgsim_panic("memory access out of bounds: ", addr, " >= ",
-                         words_.size());
+                         size_);
     }
 
-    std::vector<Word> words_;
+    std::size_t size_;
+    std::vector<std::unique_ptr<std::vector<Word>>> pages_;
     std::size_t brk_ = 0;
 };
 

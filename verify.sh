@@ -5,10 +5,13 @@
 # bridged hardware packet events.
 #
 #   ./verify.sh                  full: configure + build + ctest + traced run
+#                                + lab golden/determinism gate
 #   ./verify.sh --quick <binary> only the traced-run check, against an
 #                                already-built bulk_transfer binary
 #                                (this is what the CTest hook uses;
 #                                it must NOT recurse into ctest)
+#   ./verify.sh --sanitize       build tier-1 tests under ASan+UBSan
+#                                in a separate build tree and run them
 set -euo pipefail
 
 repo_dir="$(cd "$(dirname "$0")" && pwd)"
@@ -53,10 +56,37 @@ print(f"trace ok: {len(events)} events, {len(spans)} spans, "
 EOF
 }
 
+check_lab() {
+    local lab="$repo_dir/build/src/lab/msgsim-lab"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    # Golden gate: every deterministic experiment must reproduce the
+    # checked-in paper cells, at full parallelism.
+    (cd "$repo_dir" && "$lab" --all --check-golden -j 8 --quiet)
+
+    # Determinism gate: -j 1 and -j 8 artifacts must be byte-identical.
+    "$lab" --all -j 1 --quiet --json-out="$tmpdir/j1"
+    "$lab" --all -j 8 --quiet --json-out="$tmpdir/j8"
+    diff -r "$tmpdir/j1" "$tmpdir/j8"
+    echo "lab ok: golden gate + byte-deterministic sweep"
+}
+
 if [[ "${1:-}" == "--quick" ]]; then
     [[ $# -eq 2 ]] || { echo "usage: $0 --quick <bulk_transfer>" >&2; exit 2; }
     check_traced_run "$2"
     echo "verify --quick: OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+    cd "$repo_dir"
+    cmake -B build-sanitize -S . \
+        -DMSGSIM_ASAN=ON -DMSGSIM_UBSAN=ON > /dev/null
+    cmake --build build-sanitize -j"$(nproc)"
+    (cd build-sanitize && ctest --output-on-failure -j"$(nproc)")
+    echo "verify --sanitize: OK"
     exit 0
 fi
 
@@ -65,4 +95,5 @@ cmake -B build -S . > /dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 check_traced_run "$repo_dir/build/examples/bulk_transfer"
+check_lab
 echo "verify: OK"
