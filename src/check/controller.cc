@@ -1,0 +1,156 @@
+#include "check/controller.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace msgsim::check
+{
+
+const char *
+toString(ChoiceKind k)
+{
+    switch (k) {
+      case ChoiceKind::Deliver:   return "deliver";
+      case ChoiceKind::Drop:      return "drop";
+      case ChoiceKind::Corrupt:   return "corrupt";
+      case ChoiceKind::Duplicate: return "duplicate";
+      default:                    return "?";
+    }
+}
+
+bool
+choiceKindFromString(const std::string &s, ChoiceKind &out)
+{
+    if (s == "deliver") { out = ChoiceKind::Deliver; return true; }
+    if (s == "drop") { out = ChoiceKind::Drop; return true; }
+    if (s == "corrupt") { out = ChoiceKind::Corrupt; return true; }
+    if (s == "duplicate") { out = ChoiceKind::Duplicate; return true; }
+    return false;
+}
+
+unsigned
+ScenarioConfig::effectiveFaultKinds() const
+{
+    if (faultKinds != 0)
+        return faultKinds;
+    // Protocols with duplicate suppression can absorb ghost copies;
+    // the others (single-packet has no sequencing at all, and the
+    // finite transfer counts packets, so a ghost double-decrements
+    // its completion countdown) are *specified* for drop/corrupt
+    // faults only.
+    if (protocol == "stream" || protocol == "socket")
+        return kFaultDrop | kFaultCorrupt | kFaultDuplicate;
+    return kFaultDrop | kFaultCorrupt;
+}
+
+ScheduleController::ScheduleController(Network &net)
+    : net_(net), features_(net.features())
+{
+    if (net_.scheduleGate() != nullptr)
+        msgsim_panic("network already has a schedule gate");
+    net_.setScheduleGate(this);
+}
+
+ScheduleController::~ScheduleController()
+{
+    if (net_.scheduleGate() == this)
+        net_.setScheduleGate(nullptr);
+}
+
+void
+ScheduleController::capture(Packet &&pkt)
+{
+    InFlight f;
+    f.id = nextId_++;
+    f.pkt = std::move(pkt);
+    flight_.push_back(std::move(f));
+}
+
+bool
+ScheduleController::flowHead(const InFlight &f) const
+{
+    for (const auto &other : flight_) {
+        if (other.id >= f.id)
+            continue;
+        if (other.pkt.src == f.pkt.src &&
+            other.pkt.dst == f.pkt.dst &&
+            other.pkt.vnet == f.pkt.vnet)
+            return false;
+    }
+    return true;
+}
+
+std::vector<Choice>
+ScheduleController::enabled(int faultsLeft, unsigned kindMask) const
+{
+    std::vector<Choice> out;
+    const bool faultable =
+        !features_.reliableDelivery && faultsLeft > 0;
+    for (const auto &f : flight_) {
+        if (features_.inOrderDelivery && !flowHead(f))
+            continue;
+        out.push_back({ChoiceKind::Deliver, f.id});
+        if (!faultable)
+            continue;
+        if (kindMask & kFaultDrop)
+            out.push_back({ChoiceKind::Drop, f.id});
+        if (kindMask & kFaultCorrupt)
+            out.push_back({ChoiceKind::Corrupt, f.id});
+        if (kindMask & kFaultDuplicate)
+            out.push_back({ChoiceKind::Duplicate, f.id});
+    }
+    return out;
+}
+
+bool
+ScheduleController::apply(const Choice &choice)
+{
+    auto it = std::find_if(flight_.begin(), flight_.end(),
+                           [&](const InFlight &f) {
+                               return f.id == choice.packetId;
+                           });
+    if (it == flight_.end())
+        return false;
+    if (hook_)
+        hook_(choice, it->pkt);
+
+    switch (choice.kind) {
+      case ChoiceKind::Deliver: {
+        Packet pkt = std::move(it->pkt);
+        flight_.erase(it);
+        if (!net_.gateDeliver(std::move(pkt)))
+            msgsim_panic("schedule gate: sink refused a delivery "
+                         "(bounded receive capacity under a gate "
+                         "is not modeled)");
+        break;
+      }
+      case ChoiceKind::Drop:
+        net_.gateDrop(it->pkt);
+        flight_.erase(it);
+        break;
+      case ChoiceKind::Corrupt: {
+        // Corrupt-and-deliver as one action: the packet still
+        // traverses the network; the destination NI's CRC check is
+        // what actually discards it.
+        net_.gateCorrupt(it->pkt);
+        Packet pkt = std::move(it->pkt);
+        flight_.erase(it);
+        if (!net_.gateDeliver(std::move(pkt)))
+            msgsim_panic("schedule gate: sink refused a corrupted "
+                         "delivery");
+        break;
+      }
+      case ChoiceKind::Duplicate: {
+        net_.gateDuplicate(it->pkt);
+        InFlight clone;
+        clone.id = nextId_++;
+        clone.pkt = it->pkt;
+        flight_.push_back(std::move(clone));
+        break;
+      }
+    }
+    return true;
+}
+
+} // namespace msgsim::check

@@ -1,0 +1,205 @@
+#include "check/explorer.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace msgsim::check
+{
+
+ScheduleResult
+Explorer::executeOne(const Decider &decide,
+                     std::vector<std::size_t> *sizesOut) const
+{
+    ScheduleResult res;
+    // Protocol-layer panics under hostile schedules are findings,
+    // not process aborts.
+    const bool savedThrow = log_detail::throwOnError;
+    log_detail::throwOnError = true;
+    try {
+        auto h = ScenarioHarness::make(cfg_);
+        InvariantSuite inv;
+        const unsigned kinds = cfg_.effectiveFaultKinds();
+        int faultsLeft = cfg_.faults;
+        int kicks = 0;
+
+        h->start();
+        h->progress();
+        for (;;) {
+            const auto enabled =
+                h->controller().enabled(faultsLeft, kinds);
+            if (enabled.empty()) {
+                if (h->done()) {
+                    h->finish();
+                    h->progress();
+                    const Violation v = inv.checkFinal(*h);
+                    if (!v.holds()) {
+                        res.violated = true;
+                        res.invariant = v.name;
+                        res.detail = v.detail;
+                    }
+                    break;
+                }
+                // Quiescent but incomplete: the protocol's explicit
+                // timeout recovery is the only way forward.
+                if (++kicks > 64) {
+                    res.violated = true;
+                    res.invariant = "livelock";
+                    res.detail = "recovery keeps acting without the "
+                                 "run ever completing";
+                    break;
+                }
+                if (!h->kick()) {
+                    res.violated = true;
+                    res.invariant = "stalled";
+                    res.detail =
+                        "quiescent but incomplete, and recovery "
+                        "has nothing left to resend";
+                    break;
+                }
+                h->progress();
+                continue;
+            }
+            if (res.steps >= lim_.maxSteps) {
+                res.violated = true;
+                res.invariant = "step-budget";
+                res.detail =
+                    "schedule exceeded the per-run step bound";
+                break;
+            }
+            if (sizesOut &&
+                res.steps < static_cast<std::uint64_t>(lim_.depth))
+                sizesOut->push_back(enabled.size());
+            const std::size_t idx =
+                decide(static_cast<std::size_t>(res.steps),
+                       enabled) %
+                enabled.size();
+            const Choice choice = enabled[idx];
+            h->controller().apply(choice);
+            if (choice.isFault())
+                --faultsLeft;
+            res.schedule.push_back(choice);
+            ++res.steps;
+            h->progress();
+            const Violation v = inv.checkStep(*h);
+            if (!v.holds()) {
+                res.violated = true;
+                res.invariant = v.name;
+                res.detail = v.detail;
+                break;
+            }
+        }
+    } catch (const log_detail::SimError &err) {
+        res.violated = true;
+        res.invariant = err.isPanic ? "panic" : "fatal";
+        res.detail = err.message;
+    }
+    log_detail::throwOnError = savedThrow;
+    return res;
+}
+
+CheckReport
+Explorer::run()
+{
+    CheckReport rep;
+    rep.scenario = cfg_;
+    rep.limits = lim_;
+
+    auto account = [&rep](const ScheduleResult &res) {
+        ++rep.schedulesRun;
+        rep.stepsTotal += res.steps;
+        rep.maxChoicePoints =
+            std::max(rep.maxChoicePoints, res.steps);
+        if (res.violated) {
+            ++rep.violations;
+            if (rep.counterexample.schedule.empty() &&
+                !rep.counterexample.violated)
+                rep.counterexample = res;
+        }
+        return res.violated;
+    };
+
+    // ---- Bounded-exhaustive DFS over the first `depth` choice
+    // points, odometer-style: each run follows `path`, then the
+    // default policy; the recorded enabled-set sizes tell the
+    // odometer where the next sibling is.
+    std::vector<std::size_t> path;
+    for (;;) {
+        if (rep.schedulesRun >= lim_.budget)
+            break;
+        std::vector<std::size_t> sizes;
+        const ScheduleResult res = executeOne(
+            [&path](std::size_t step,
+                    const std::vector<Choice> &) {
+                return step < path.size() ? path[step] : 0;
+            },
+            &sizes);
+        ++rep.dfsSchedules;
+        if (account(res))
+            return rep;
+
+        std::vector<std::size_t> full = path;
+        if (full.size() > sizes.size())
+            full.resize(sizes.size());
+        full.resize(sizes.size(), 0);
+        auto i = static_cast<std::ptrdiff_t>(full.size()) - 1;
+        while (i >= 0 &&
+               full[static_cast<std::size_t>(i)] + 1 >=
+                   sizes[static_cast<std::size_t>(i)])
+            --i;
+        if (i < 0) {
+            rep.exhausted = true;
+            break;
+        }
+        ++full[static_cast<std::size_t>(i)];
+        full.resize(static_cast<std::size_t>(i) + 1);
+        path = std::move(full);
+    }
+
+    // ---- Seeded random walks: sample schedules past the DFS
+    // horizon (deep interleavings, late faults).
+    for (int w = 0; w < lim_.walks; ++w) {
+        if (rep.schedulesRun >= lim_.budget)
+            break;
+        std::uint64_t sm = lim_.seed + 0x9e3779b97f4a7c15ULL *
+                                           (static_cast<std::uint64_t>(w) + 1);
+        Rng rng(splitMix64(sm));
+        const ScheduleResult res = executeOne(
+            [&rng](std::size_t, const std::vector<Choice> &en) {
+                return static_cast<std::size_t>(
+                    rng.below(en.size()));
+            },
+            nullptr);
+        ++rep.walkSchedules;
+        if (account(res))
+            return rep;
+    }
+    return rep;
+}
+
+ScheduleResult
+Explorer::replay(const std::vector<Choice> &schedule) const
+{
+    std::deque<Choice> pending(schedule.begin(), schedule.end());
+    return executeOne(
+        [&pending](std::size_t, const std::vector<Choice> &en)
+            -> std::size_t {
+            while (!pending.empty()) {
+                const Choice c = pending.front();
+                pending.pop_front();
+                const auto it =
+                    std::find(en.begin(), en.end(), c);
+                if (it != en.end())
+                    return static_cast<std::size_t>(
+                        it - en.begin());
+                // Stale entry (its packet no longer exists in this
+                // shrunken execution): skip it.
+            }
+            return 0; // recording exhausted: default policy
+        },
+        nullptr);
+}
+
+} // namespace msgsim::check

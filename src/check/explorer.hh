@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Schedule-space exploration by stateless re-execution.
+ *
+ * Every explored schedule runs in a *fresh* harness (stack, gate,
+ * protocol state): the checker never snapshots simulator state, it
+ * replays decision prefixes.  A schedule is identified by the
+ * indices it picks out of each step's enabled set; the DFS
+ * enumerates those index vectors odometer-style up to a branching
+ * depth, with index 0 ("deliver the oldest eligible packet") as the
+ * default policy past the branching horizon.  Seeded random walks
+ * sample deeper schedules the bounded DFS cannot reach.
+ *
+ * Determinism: execution involves no wall-clock, no global RNG, and
+ * no threads, so the same (scenario, limits) always produce the
+ * byte-identical report — the lab's golden gate relies on this.
+ */
+
+#ifndef MSGSIM_CHECK_EXPLORER_HH
+#define MSGSIM_CHECK_EXPLORER_HH
+
+#include <functional>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "check/schedule.hh"
+
+namespace msgsim::check
+{
+
+class Explorer
+{
+  public:
+    Explorer(const ScenarioConfig &cfg, const ExploreLimits &lim)
+        : cfg_(cfg), lim_(lim)
+    {
+    }
+
+    /** Bounded-exhaustive DFS, then random walks; stops at the
+     *  first violation (its counterexample is in the report). */
+    CheckReport run();
+
+    /**
+     * Re-execute a recorded schedule, tolerantly: recorded choices
+     * that are not currently enabled are skipped, and once the
+     * recording is exhausted the default policy finishes the run.
+     * The tolerance is what makes delta-debugged sub-schedules
+     * executable.
+     */
+    ScheduleResult replay(const std::vector<Choice> &schedule) const;
+
+  private:
+    /** Picks the index of the next choice from the enabled set. */
+    using Decider = std::function<std::size_t(
+        std::size_t step, const std::vector<Choice> &enabled)>;
+
+    /**
+     * Run one schedule to termination under @p decide.  When
+     * @p sizesOut is given, records the enabled-set size at each of
+     * the first `depth` choice points (the DFS branching record).
+     */
+    ScheduleResult executeOne(const Decider &decide,
+                              std::vector<std::size_t> *sizesOut) const;
+
+    ScenarioConfig cfg_;
+    ExploreLimits lim_;
+};
+
+} // namespace msgsim::check
+
+#endif // MSGSIM_CHECK_EXPLORER_HH

@@ -1,0 +1,456 @@
+#include "check/harness.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "protocols/finite_xfer.hh"
+#include "protocols/socket.hh"
+#include "protocols/stream.hh"
+#include "sim/log.hh"
+
+namespace msgsim::check
+{
+
+ScenarioHarness::ScenarioHarness(const ScenarioConfig &cfg)
+    : cfg_(cfg)
+{
+    StackConfig sc;
+    sc.substrate = cfg.substrate;
+    sc.nodes = cfg.nodes < 2 ? 2 : cfg.nodes;
+    stack_ = std::make_unique<Stack>(sc);
+    controller_ =
+        std::make_unique<ScheduleController>(stack_->network());
+}
+
+void
+ScenarioHarness::progress()
+{
+    // Handled packets may send (acks, replies) — those injections
+    // are captured by the controller, so this loop reaches a
+    // fixpoint once every already-delivered packet is consumed.
+    for (int round = 0; round < 256; ++round) {
+        stack_->settle();
+        bool any = false;
+        for (NodeId id = 0; id < stack_->machine().nodeCount();
+             ++id) {
+            Node &nd = stack_->node(id);
+            if (!nd.ni().hwRecvPending())
+                continue;
+            any = true;
+            FeatureScope fs(nd.acct(), Feature::BaseCost);
+            stack_->cmam(id).poll();
+        }
+        if (!any) {
+            stack_->settle();
+            return;
+        }
+    }
+    msgsim_panic("scenario progress loop failed to reach fixpoint");
+}
+
+namespace
+{
+
+// ----------------------------------------------------------------
+// Protocol 1: single-packet active messages.  No software recovery
+// exists, so the specification is fault-aware: every message is
+// delivered exactly once, minus the ones the schedule explicitly
+// destroyed (dropped or corrupted), in order on an in-order
+// substrate.
+// ----------------------------------------------------------------
+class SinglePacketScenario : public ScenarioHarness
+{
+  public:
+    explicit SinglePacketScenario(const ScenarioConfig &cfg)
+        : ScenarioHarness(cfg)
+    {
+        for (NodeId id = 0; id < stack_->machine().nodeCount(); ++id)
+            handler_ = stack_->cmam(id).registerHandler(
+                [this](NodeId, const std::vector<Word> &args) {
+                    delivered_.push_back(args.empty() ? 0 : args[0]);
+                });
+        controller_->setDecisionHook(
+            [this](const Choice &c, const Packet &pkt) {
+                if (pkt.tag != HwTag::UserAm || pkt.data.empty())
+                    return;
+                if (c.kind == ChoiceKind::Drop ||
+                    c.kind == ChoiceKind::Corrupt)
+                    --expected_[pkt.data[0]];
+                else if (c.kind == ChoiceKind::Duplicate)
+                    ++expected_[pkt.data[0]];
+            });
+    }
+
+    void
+    start() override
+    {
+        Node &src = stack_->node(0);
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i) {
+            const Word value = 0xc0de0000u + i;
+            sent_.push_back(value);
+            expected_[value] = 1;
+            FeatureScope fs(src.acct(), Feature::BaseCost);
+            stack_->cmam(0).am4(1, handler_, {value, i, 0, 0});
+        }
+    }
+
+    bool
+    done() const override
+    {
+        std::uint64_t want = 0;
+        for (const auto &[value, count] : expected_)
+            if (count > 0)
+                want += static_cast<std::uint64_t>(count);
+        return delivered_.size() == want;
+    }
+
+    std::string
+    protocolInvariant() const override
+    {
+        std::map<Word, int> seen;
+        for (Word v : delivered_)
+            ++seen[v];
+        for (const auto &[value, count] : seen) {
+            auto it = expected_.find(value);
+            const int want = it == expected_.end()
+                                 ? 0
+                                 : std::max(0, it->second);
+            if (count > want) {
+                std::ostringstream os;
+                os << "value " << std::hex << value << std::dec
+                   << " delivered " << count << "x, expected "
+                   << want;
+                return os.str();
+            }
+        }
+        if (cfg_.substrate == Substrate::Cr &&
+            !std::is_sorted(delivered_.begin(), delivered_.end())) {
+            return "in-order substrate delivered messages out of "
+                   "order";
+        }
+        return "";
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        const std::string step = protocolInvariant();
+        if (!step.empty())
+            return step;
+        if (!done()) {
+            std::ostringstream os;
+            os << "only " << delivered_.size() << " of the surviving "
+               << "messages were delivered";
+            return os.str();
+        }
+        return "";
+    }
+
+  private:
+    int handler_ = 0;
+    std::vector<Word> sent_;
+    std::vector<Word> delivered_;
+    std::map<Word, int> expected_; ///< per-value surviving copies
+};
+
+// ----------------------------------------------------------------
+// Protocol 2: the finite-sequence transfer, with explicit restart
+// recovery as the kick.
+// ----------------------------------------------------------------
+class FiniteXferScenario : public ScenarioHarness
+{
+  public:
+    explicit FiniteXferScenario(const ScenarioConfig &cfg)
+        : ScenarioHarness(cfg)
+    {
+        xfer_ = std::make_unique<FiniteXfer>(*stack_);
+    }
+
+    void
+    start() override
+    {
+        FiniteXferParams p;
+        p.src = 0;
+        p.dst = 1;
+        p.words = cfg_.packets * static_cast<std::uint32_t>(
+                                     stack_->dataWords());
+        tid_ = xfer_->beginTransfer(p);
+    }
+
+    bool
+    kick() override
+    {
+        return xfer_->restartTransfer(tid_, maxRestarts_);
+    }
+
+    bool done() const override { return xfer_->transferComplete(tid_); }
+
+    std::string
+    protocolInvariant() const override
+    {
+        if (xfer_->activeDstSegments() > 1)
+            return "more than one destination segment live for a "
+                   "single transfer";
+        return "";
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        if (!xfer_->transferComplete(tid_))
+            return "transfer never completed";
+        if (!xfer_->transferDataOk(tid_))
+            return "transfer completed with corrupt destination data";
+        if (xfer_->activeDstSegments() != 0)
+            return "destination segment leaked after completion";
+        return "";
+    }
+
+  private:
+    static constexpr int maxRestarts_ = 8;
+    std::unique_ptr<FiniteXfer> xfer_;
+    Word tid_ = 0;
+};
+
+// ----------------------------------------------------------------
+// Protocol 3: the indefinite-sequence stream on a persistent
+// channel.  Exactly-once in-order delivery must hold under drops,
+// corruption, AND duplication; the kick is the timeout model
+// (flush partial group acks, retransmit unacked).
+// ----------------------------------------------------------------
+class StreamScenario : public ScenarioHarness
+{
+  public:
+    explicit StreamScenario(const ScenarioConfig &cfg)
+        : ScenarioHarness(cfg)
+    {
+        proto_ = std::make_unique<StreamProtocol>(*stack_);
+        proto_->setBugAckBeforeInsert(cfg.bugAckBeforeInsert);
+        chan_ = proto_->openPersistent(
+            0, 1, cfg.groupAck, /*ringPackets=*/cfg.packets,
+            [this](std::uint32_t seq, const std::vector<Word> &w) {
+                deliveredSeqs_.push_back(seq);
+                deliveredFirstWords_.push_back(w.empty() ? 0 : w[0]);
+            });
+    }
+
+    void
+    start() override
+    {
+        const int n = stack_->dataWords();
+        std::vector<Word> words;
+        words.reserve(cfg_.packets * static_cast<std::uint32_t>(n));
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i)
+            for (int j = 0; j < n; ++j)
+                words.push_back(value(i, j));
+        // The ring has as many slots as packets, so this never
+        // blocks on the (gated, schedule-driven) progress loop.
+        proto_->sendOn(chan_, words);
+    }
+
+    bool
+    kick() override
+    {
+        const auto acksBefore = proto_->totals().acksSent;
+        proto_->flushGroupAcks(chan_);
+        bool acted = proto_->totals().acksSent != acksBefore;
+        if (proto_->channelUnacked(chan_) > 0) {
+            proto_->retransmitUnacked(chan_);
+            acted = true;
+        }
+        return acted;
+    }
+
+    bool
+    done() const override
+    {
+        return proto_->channelDelivered(chan_) == cfg_.packets &&
+               proto_->channelUnacked(chan_) == 0;
+    }
+
+    std::string
+    protocolInvariant() const override
+    {
+        if (proto_->channelDelivered(chan_) > cfg_.packets)
+            return "more packets delivered than were sent";
+        for (std::size_t i = 0; i < deliveredSeqs_.size(); ++i) {
+            if (deliveredSeqs_[i] != i)
+                return "delivery sequence broke in-order "
+                       "exactly-once contract";
+            if (deliveredFirstWords_[i] !=
+                value(static_cast<std::uint32_t>(i), 0))
+                return "delivered payload does not match what was "
+                       "sent";
+        }
+        if (proto_->channelPending(chan_) >
+            proto_->channelArenaSlots(chan_))
+            return "reorder buffer exceeded its arena";
+        if (proto_->channelUnacked(chan_) >
+            proto_->channelRetxSlots(chan_))
+            return "retransmission ring exceeded its capacity";
+        return "";
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        const std::string step = protocolInvariant();
+        if (!step.empty())
+            return step;
+        if (proto_->channelDelivered(chan_) != cfg_.packets) {
+            std::ostringstream os;
+            os << "stream delivered "
+               << proto_->channelDelivered(chan_) << " of "
+               << cfg_.packets << " packets";
+            return os.str();
+        }
+        if (proto_->channelUnacked(chan_) != 0)
+            return "sender retains unacknowledged packets at "
+                   "quiescence";
+        if (proto_->channelPending(chan_) != 0)
+            return "reorder buffer not empty at quiescence";
+        return "";
+    }
+
+  protected:
+    static Word
+    value(std::uint32_t pkt, int word)
+    {
+        return 0xab000000u + pkt * 64u +
+               static_cast<std::uint32_t>(word);
+    }
+
+    std::unique_ptr<StreamProtocol> proto_;
+    Word chan_ = 0;
+    std::vector<std::uint32_t> deliveredSeqs_;
+    std::vector<Word> deliveredFirstWords_;
+};
+
+// ----------------------------------------------------------------
+// Protocol 4: the socket API over the stream engine, including the
+// explicit close()/drain() teardown once the schedule completes.
+// ----------------------------------------------------------------
+class SocketScenario : public ScenarioHarness
+{
+  public:
+    explicit SocketScenario(const ScenarioConfig &cfg)
+        : ScenarioHarness(cfg)
+    {
+        proto_ = std::make_unique<StreamProtocol>(*stack_);
+        proto_->setBugAckBeforeInsert(cfg.bugAckBeforeInsert);
+        StreamSocket::Options opts;
+        opts.groupAck = cfg.groupAck;
+        opts.ringPackets = cfg.packets;
+        socket_ = std::make_unique<StreamSocket>(
+            *proto_, 0, 1,
+            [this](const std::vector<Word> &w) {
+                deliveredFirstWords_.push_back(w.empty() ? 0 : w[0]);
+            },
+            opts);
+    }
+
+    void
+    start() override
+    {
+        const int n = stack_->dataWords();
+        std::vector<Word> words;
+        words.reserve(cfg_.packets * static_cast<std::uint32_t>(n));
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i)
+            for (int j = 0; j < n; ++j)
+                words.push_back(value(i, j));
+        socket_->write(words);
+    }
+
+    bool
+    kick() override
+    {
+        if (!socket_->isOpen())
+            return false;
+        const auto acksBefore = proto_->totals().acksSent;
+        proto_->flushGroupAcks(socket_->channel());
+        bool acted = proto_->totals().acksSent != acksBefore;
+        if (socket_->unacked() > 0) {
+            proto_->retransmitUnacked(socket_->channel());
+            acted = true;
+        }
+        return acted;
+    }
+
+    bool
+    done() const override
+    {
+        return deliveredFirstWords_.size() == cfg_.packets &&
+               socket_->unacked() == 0;
+    }
+
+    void
+    finish() override
+    {
+        // Everything is delivered and acked; teardown must be clean
+        // and instantaneous.
+        socket_->close();
+    }
+
+    std::string
+    protocolInvariant() const override
+    {
+        if (deliveredFirstWords_.size() > cfg_.packets)
+            return "more packets delivered than were written";
+        for (std::size_t i = 0; i < deliveredFirstWords_.size(); ++i)
+            if (deliveredFirstWords_[i] !=
+                value(static_cast<std::uint32_t>(i), 0))
+                return "socket delivered data out of order or "
+                       "corrupted";
+        return "";
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        const std::string step = protocolInvariant();
+        if (!step.empty())
+            return step;
+        if (deliveredFirstWords_.size() != cfg_.packets) {
+            std::ostringstream os;
+            os << "socket delivered " << deliveredFirstWords_.size()
+               << " of " << cfg_.packets << " packets";
+            return os.str();
+        }
+        if (socket_->isOpen())
+            return "socket still open after teardown";
+        return "";
+    }
+
+  private:
+    static Word
+    value(std::uint32_t pkt, int word)
+    {
+        return 0xcd000000u + pkt * 64u +
+               static_cast<std::uint32_t>(word);
+    }
+
+    std::unique_ptr<StreamProtocol> proto_;
+    std::unique_ptr<StreamSocket> socket_;
+    std::vector<Word> deliveredFirstWords_;
+};
+
+} // namespace
+
+std::unique_ptr<ScenarioHarness>
+ScenarioHarness::make(const ScenarioConfig &cfg)
+{
+    if (cfg.protocol == "single_packet")
+        return std::make_unique<SinglePacketScenario>(cfg);
+    if (cfg.protocol == "finite_xfer")
+        return std::make_unique<FiniteXferScenario>(cfg);
+    if (cfg.protocol == "stream")
+        return std::make_unique<StreamScenario>(cfg);
+    if (cfg.protocol == "socket")
+        return std::make_unique<SocketScenario>(cfg);
+    msgsim_fatal("unknown checker protocol '", cfg.protocol,
+                 "' (single_packet | finite_xfer | stream | socket)");
+    return nullptr;
+}
+
+} // namespace msgsim::check

@@ -1,0 +1,64 @@
+#include "check/invariants.hh"
+
+#include <sstream>
+
+namespace msgsim::check
+{
+
+Violation
+InvariantSuite::structural(ScenarioHarness &h) const
+{
+    const NetStats &st = h.stack().network().stats();
+    const std::uint64_t inFlight = h.controller().inFlight();
+    if (st.injected + st.duplicated !=
+        st.delivered + st.dropped + inFlight) {
+        std::ostringstream os;
+        os << "injected " << st.injected << " + duplicated "
+           << st.duplicated << " != delivered " << st.delivered
+           << " + dropped " << st.dropped << " + in-flight "
+           << inFlight;
+        return {"packet-conservation", os.str()};
+    }
+    for (NodeId id = 0; id < h.stack().machine().nodeCount(); ++id) {
+        if (h.stack().node(id).ni().hwRecvPending()) {
+            std::ostringstream os;
+            os << "node " << id
+               << " still holds undispatched packets after "
+                  "progress";
+            return {"post-progress-drain", os.str()};
+        }
+    }
+    return {};
+}
+
+Violation
+InvariantSuite::checkStep(ScenarioHarness &h) const
+{
+    Violation v = structural(h);
+    if (!v.holds())
+        return v;
+    const std::string p = h.protocolInvariant();
+    if (!p.empty())
+        return {"protocol-safety", p};
+    return {};
+}
+
+Violation
+InvariantSuite::checkFinal(ScenarioHarness &h) const
+{
+    Violation v = structural(h);
+    if (!v.holds())
+        return v;
+    if (h.controller().inFlight() != 0) {
+        std::ostringstream os;
+        os << h.controller().inFlight()
+           << " packets still in flight at end of schedule";
+        return {"quiescence", os.str()};
+    }
+    const std::string p = h.protocolFinal();
+    if (!p.empty())
+        return {"protocol-final", p};
+    return {};
+}
+
+} // namespace msgsim::check

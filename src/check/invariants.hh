@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The invariant suite: what must hold along every schedule.
+ *
+ * Structural invariants are protocol-independent and read the same
+ * counters normal runs publish (NetStats), so a violation here means
+ * either a checker bug or a genuine accounting leak:
+ *
+ *  - packet conservation: injected + duplicated ==
+ *    delivered + dropped + in-flight;
+ *  - post-progress drain: after the harness polls to fixpoint, no
+ *    NI may still hold undispatched packets.
+ *
+ * Protocol invariants (exactly-once in-order delivery, bounded
+ * reorder/retransmission buffers, segment hygiene, clean teardown)
+ * live in the scenario harnesses; the suite just sequences them.
+ */
+
+#ifndef MSGSIM_CHECK_INVARIANTS_HH
+#define MSGSIM_CHECK_INVARIANTS_HH
+
+#include <string>
+
+#include "check/harness.hh"
+
+namespace msgsim::check
+{
+
+/** One detected violation; empty name = everything holds. */
+struct Violation
+{
+    std::string name;   ///< machine-readable invariant id
+    std::string detail; ///< human-readable specifics
+
+    bool holds() const { return name.empty(); }
+};
+
+class InvariantSuite
+{
+  public:
+    /** Checks run after every scheduling step (safety). */
+    Violation checkStep(ScenarioHarness &h) const;
+
+    /**
+     * Checks run once the schedule is complete: quiescence (nothing
+     * in flight, nothing pending) plus the harness's end-state
+     * contract.
+     */
+    Violation checkFinal(ScenarioHarness &h) const;
+
+  private:
+    Violation structural(ScenarioHarness &h) const;
+};
+
+} // namespace msgsim::check
+
+#endif // MSGSIM_CHECK_INVARIANTS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Counterexample and report serialization.
+ *
+ * A counterexample file is a complete, self-contained reproduction
+ * recipe: the scenario (protocol, substrate, sizes, fault budget,
+ * bug knobs) plus the minimized choice sequence and the invariant it
+ * violates.  `msgsim-check --replay=<file>` re-executes it and exits
+ * 0 exactly when the recorded violation reproduces — which is how
+ * committed counterexamples serve as regression tests.
+ */
+
+#ifndef MSGSIM_CHECK_REPLAY_HH
+#define MSGSIM_CHECK_REPLAY_HH
+
+#include <string>
+#include <vector>
+
+#include "check/schedule.hh"
+#include "core/json.hh"
+
+namespace msgsim::check
+{
+
+/** A parsed (or to-be-written) counterexample file. */
+struct Counterexample
+{
+    ScenarioConfig scenario;
+    std::string invariant; ///< violated invariant's name
+    std::string detail;    ///< human-readable description
+    std::vector<Choice> schedule;
+};
+
+/** Serialize a counterexample (pretty, deterministic). */
+std::string counterexampleToJson(const Counterexample &ce);
+
+/**
+ * Parse a counterexample file's text.  Returns false and fills
+ * @p error on malformed input.
+ */
+bool counterexampleFromJson(const std::string &text,
+                            Counterexample &out, std::string &error);
+
+/** The whole exploration report as deterministic JSON. */
+std::string reportToJson(const CheckReport &rep);
+
+/** The schedule array (shared by report and counterexample). */
+Json scheduleToJson(const std::vector<Choice> &schedule);
+
+} // namespace msgsim::check
+
+#endif // MSGSIM_CHECK_REPLAY_HH

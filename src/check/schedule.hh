@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Core vocabulary of the schedule-space model checker.
+ *
+ * The checker replaces every source of nondeterminism in a protocol
+ * run — delivery order, latency, and faults — with an explicit
+ * sequence of *choices*: at each step, which in-flight packet is
+ * delivered, dropped, corrupted-in-flight, or duplicated.  A whole
+ * run is then a finite choice sequence (a *schedule*), and the
+ * checker's job is to enumerate schedules and test protocol
+ * invariants along each one.
+ */
+
+#ifndef MSGSIM_CHECK_SCHEDULE_HH
+#define MSGSIM_CHECK_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocols/stack.hh"
+
+namespace msgsim::check
+{
+
+/** What the scheduler does to one in-flight packet. */
+enum class ChoiceKind : std::uint8_t
+{
+    Deliver,   ///< hand the packet to its destination NI
+    Drop,      ///< lose it silently (fault)
+    Corrupt,   ///< flip a bit, then deliver (the NI's CRC discards)
+    Duplicate, ///< clone it; both copies stay schedulable
+};
+
+/** Printable name of a choice kind. */
+const char *toString(ChoiceKind k);
+
+/** Parse "deliver"/"drop"/"corrupt"/"duplicate"; false on junk. */
+bool choiceKindFromString(const std::string &s, ChoiceKind &out);
+
+/** Fault-kind selection bitmask (ScenarioConfig::faultKinds). */
+enum : unsigned
+{
+    kFaultDrop = 1u << 0,
+    kFaultCorrupt = 1u << 1,
+    kFaultDuplicate = 1u << 2,
+};
+
+/**
+ * One scheduling decision.  Packet ids are assigned by the
+ * controller in capture order; execution is deterministic given the
+ * choice sequence, so ids are stable across re-execution — which is
+ * what makes recorded schedules replayable.
+ */
+struct Choice
+{
+    ChoiceKind kind = ChoiceKind::Deliver;
+    std::uint64_t packetId = 0;
+
+    bool
+    operator==(const Choice &o) const
+    {
+        return kind == o.kind && packetId == o.packetId;
+    }
+
+    bool isFault() const { return kind != ChoiceKind::Deliver; }
+};
+
+/** The closed little world one schedule runs in. */
+struct ScenarioConfig
+{
+    std::string protocol = "stream"; ///< single_packet | finite_xfer
+                                     ///< | stream | socket
+    Substrate substrate = Substrate::Cm5;
+    std::uint32_t nodes = 2;
+    std::uint32_t packets = 3; ///< messages / data packets to send
+    int groupAck = 1;          ///< stream/socket: ack every G packets
+    int faults = 1;            ///< fault decisions allowed per schedule
+    /// Which fault kinds the scheduler may pick (kFault* mask).
+    /// 0 = the protocol's default set: protocols with duplicate
+    /// suppression get all three, the others drop + corrupt.
+    unsigned faultKinds = 0;
+    /// Deliberately re-introduce the ack-before-insert stream bug
+    /// (StreamProtocol::setBugAckBeforeInsert) so the checker has
+    /// something to catch.
+    bool bugAckBeforeInsert = false;
+
+    /** The effective fault-kind mask (resolves the 0 default). */
+    unsigned effectiveFaultKinds() const;
+};
+
+/** Exploration budgets. */
+struct ExploreLimits
+{
+    int depth = 12;               ///< branching choice points (DFS)
+    std::uint64_t budget = 20000; ///< max schedules executed
+    std::uint64_t maxSteps = 800; ///< per-schedule step bound
+    int walks = 0;                ///< seeded random walks
+    std::uint64_t seed = 1;       ///< walk seed
+};
+
+/** What happened along one executed schedule. */
+struct ScheduleResult
+{
+    bool violated = false;
+    std::string invariant; ///< short machine-readable violation name
+    std::string detail;    ///< human-readable specifics
+    std::vector<Choice> schedule; ///< every decision actually taken
+    std::uint64_t steps = 0;      ///< choice points executed
+};
+
+/** Aggregate outcome of one exploration. */
+struct CheckReport
+{
+    ScenarioConfig scenario;
+    ExploreLimits limits;
+    std::uint64_t schedulesRun = 0;
+    std::uint64_t dfsSchedules = 0;
+    std::uint64_t walkSchedules = 0;
+    std::uint64_t stepsTotal = 0;
+    std::uint64_t maxChoicePoints = 0; ///< longest schedule seen
+    bool exhausted = false; ///< DFS enumerated the whole tree
+    std::uint64_t violations = 0;
+    ScheduleResult counterexample; ///< first violation (when any)
+};
+
+} // namespace msgsim::check
+
+#endif // MSGSIM_CHECK_SCHEDULE_HH

@@ -1,0 +1,72 @@
+#include "check/shrink.hh"
+
+#include <algorithm>
+
+namespace msgsim::check
+{
+
+ShrinkResult
+Shrinker::shrink(const ScheduleResult &failing) const
+{
+    ShrinkResult out;
+    out.schedule = failing.schedule;
+    out.result = failing;
+
+    const std::string &want = failing.invariant;
+    auto stillFails = [&](const std::vector<Choice> &cand,
+                          ScheduleResult &resOut) {
+        resOut = explorer_.replay(cand);
+        return resOut.violated && resOut.invariant == want;
+    };
+
+    // Classic ddmin: try dropping ever-smaller chunks until no
+    // single removable element remains.
+    std::size_t granularity = 2;
+    while (out.schedule.size() >= 2 && out.attempts < budget_) {
+        const std::size_t n =
+            std::min(granularity, out.schedule.size());
+        const std::size_t chunk =
+            (out.schedule.size() + n - 1) / n;
+        bool reduced = false;
+        for (std::size_t start = 0;
+             start < out.schedule.size() && out.attempts < budget_;
+             start += chunk) {
+            std::vector<Choice> cand;
+            cand.reserve(out.schedule.size());
+            for (std::size_t i = 0; i < out.schedule.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    cand.push_back(out.schedule[i]);
+            if (cand.empty())
+                continue;
+            ++out.attempts;
+            ScheduleResult res;
+            if (stillFails(cand, res)) {
+                out.schedule = std::move(cand);
+                out.result = std::move(res);
+                reduced = true;
+                break;
+            }
+        }
+        if (reduced) {
+            granularity = 2;
+            continue;
+        }
+        if (n >= out.schedule.size())
+            break; // single-element granularity, nothing removable
+        granularity = std::min(granularity * 2, out.schedule.size());
+    }
+
+    // Even a single forced choice might be noise (the violation may
+    // reproduce under the pure default policy).
+    if (out.schedule.size() == 1 && out.attempts < budget_) {
+        ++out.attempts;
+        ScheduleResult res;
+        if (stillFails({}, res)) {
+            out.schedule.clear();
+            out.result = std::move(res);
+        }
+    }
+    return out;
+}
+
+} // namespace msgsim::check

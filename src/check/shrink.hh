@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Counterexample minimization by delta debugging.
+ *
+ * A violating schedule straight out of the explorer usually mixes
+ * load-bearing decisions with noise (deliveries the default policy
+ * would have made anyway).  The shrinker ddmin-reduces the choice
+ * sequence against the predicate "tolerant replay still violates
+ * the same invariant", yielding the small schedules humans can
+ * actually read — typically one or two decisive reorderings or
+ * faults.
+ */
+
+#ifndef MSGSIM_CHECK_SHRINK_HH
+#define MSGSIM_CHECK_SHRINK_HH
+
+#include "check/explorer.hh"
+#include "check/schedule.hh"
+
+namespace msgsim::check
+{
+
+struct ShrinkResult
+{
+    std::vector<Choice> schedule; ///< minimized forced choices
+    ScheduleResult result;        ///< outcome of replaying them
+    std::uint64_t attempts = 0;   ///< replays spent shrinking
+};
+
+class Shrinker
+{
+  public:
+    explicit Shrinker(const Explorer &explorer,
+                      std::uint64_t budget = 2000)
+        : explorer_(explorer), budget_(budget)
+    {
+    }
+
+    /** Minimize @p failing (must be a violated ScheduleResult). */
+    ShrinkResult shrink(const ScheduleResult &failing) const;
+
+  private:
+    const Explorer &explorer_;
+    std::uint64_t budget_;
+};
+
+} // namespace msgsim::check
+
+#endif // MSGSIM_CHECK_SHRINK_HH

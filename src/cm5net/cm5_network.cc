@@ -37,10 +37,26 @@ Cm5Network::injectImpl(Packet &&pkt)
         ++stats_.corrupted;
         trace(TraceEvent::Corrupt, pkt);
         break; // travels on; the NI's CRC check will reject it
+      case FaultAction::Duplicate:
+        // A ghost copy rides the network alongside the original
+        // (speculative adaptive retry): route a clone independently,
+        // so it takes its own jitter and arrives whenever.  The
+        // sequence-number machinery upstairs must suppress it.
+        ++stats_.duplicated;
+        trace(TraceEvent::Duplicate, pkt);
+        routeToEdge(Packet(pkt));
+        break;
       case FaultAction::None:
         break;
     }
 
+    routeToEdge(std::move(pkt));
+    return true;
+}
+
+void
+Cm5Network::routeToEdge(Packet &&pkt)
+{
     Tick latency = cfg_.baseLatency +
                    cfg_.hopLatency * tree_.hops(pkt.src, pkt.dst);
     if (cfg_.maxJitter > 0)
@@ -70,7 +86,6 @@ Cm5Network::injectImpl(Packet &&pkt)
     sim_.scheduleAt(arrival, [this, carried]() mutable {
         arriveAtEdge(std::move(*carried));
     });
-    return true;
 }
 
 void

@@ -89,6 +89,9 @@ class Cm5Network : public Network
     /** The per-flow order-scrambling stage at the destination edge. */
     OrderPolicy &policyFor(const FlowKey &flow);
 
+    /** Route one packet to the destination edge (latency model). */
+    void routeToEdge(Packet &&pkt);
+
     /** A packet reached the destination edge. */
     void arriveAtEdge(Packet &&pkt);
 

@@ -1,11 +1,11 @@
-#include "lab/json.hh"
+#include "core/json.hh"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace msgsim::lab
+namespace msgsim
 {
 
 Json
@@ -409,4 +409,4 @@ Json::parse(const std::string &text, Json &out, std::string *error)
     return true;
 }
 
-} // namespace msgsim::lab
+} // namespace msgsim

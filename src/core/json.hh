@@ -10,8 +10,8 @@
  * ordinary hand-edited JSON.  No external dependency.
  */
 
-#ifndef MSGSIM_LAB_JSON_HH
-#define MSGSIM_LAB_JSON_HH
+#ifndef MSGSIM_CORE_JSON_HH
+#define MSGSIM_CORE_JSON_HH
 
 #include <cstdint>
 #include <memory>
@@ -19,7 +19,7 @@
 #include <utility>
 #include <vector>
 
-namespace msgsim::lab
+namespace msgsim
 {
 
 /** One JSON value (null / bool / int / real / string / array / object). */
@@ -112,6 +112,6 @@ std::string jsonEscape(const std::string &s);
 /** Deterministic formatting of a real number ("%.10g"). */
 std::string jsonReal(double v);
 
-} // namespace msgsim::lab
+} // namespace msgsim
 
-#endif // MSGSIM_LAB_JSON_HH
+#endif // MSGSIM_CORE_JSON_HH

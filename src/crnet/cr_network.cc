@@ -20,8 +20,9 @@ CrNetwork::injectImpl(Packet &&pkt)
                    cfg_.hopLatency * tree_.hops(pkt.src, pkt.dst);
 
     // Packet-level fault tolerance: probe the injector on a copy; every
-    // hit models a killed-and-retransmitted packet.  The payload that
-    // finally arrives is always intact.
+    // hit (drop, corruption, or a would-be duplicate) models a
+    // killed-and-retransmitted packet.  The payload that finally
+    // arrives is always intact, exactly once.
     for (;;) {
         Packet probe = pkt;
         if (faults_.apply(probe) == FaultAction::None)

@@ -15,6 +15,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "check/explorer.hh"
+#include "check/shrink.hh"
 #include "coll/collectives.hh"
 #include "core/cost_model.hh"
 #include "hlam/hl_stack.hh"
@@ -1183,6 +1185,116 @@ makeS1()
 }
 
 // ------------------------------------------------------------------
+// C1 — schedule-space model checking (PR 4): bounded-exhaustive
+// exploration of every protocol stack, plus the seeded stream bug
+// which the checker must catch and shrink to one decisive choice.
+// ------------------------------------------------------------------
+
+Experiment
+makeC1()
+{
+    Experiment e;
+    e.name = "C1";
+    e.title = "Model checking: bounded-exhaustive schedule "
+              "exploration of the protocol stacks";
+    e.columns = {"scenario",  "schedules", "steps",
+                 "exhausted", "verdict",   "counterexample"};
+    e.points = {"single_packet cm5",  "single_packet cr",
+                "finite_xfer cm5",    "stream cm5",
+                "stream cm5 2-fault", "stream cr",
+                "socket cm5",         "stream cm5 BUG"};
+    e.notes = {"Each point re-executes every schedule in a fresh "
+               "harness; the same config always yields the same "
+               "counts (golden-gated).",
+               "The BUG point re-introduces the ack-before-insert "
+               "stream bug and reports the invariant the checker "
+               "catches plus its ddmin-minimized schedule."};
+    e.runPoint = [](std::size_t pi) {
+        using namespace msgsim::check;
+        static const char *const labels[] = {
+            "single_packet cm5",  "single_packet cr",
+            "finite_xfer cm5",    "stream cm5",
+            "stream cm5 2-fault", "stream cr",
+            "socket cm5",         "stream cm5 BUG"};
+        ScenarioConfig sc;
+        ExploreLimits lim;
+        lim.budget = 100000;
+        switch (pi) {
+        case 0: // single_packet cm5
+            sc.protocol = "single_packet";
+            sc.packets = 3;
+            lim.depth = 12;
+            break;
+        case 1: // single_packet cr
+            sc.protocol = "single_packet";
+            sc.substrate = Substrate::Cr;
+            sc.packets = 4;
+            sc.faults = 2;
+            lim.depth = 12;
+            break;
+        case 2: // finite_xfer cm5
+            sc.protocol = "finite_xfer";
+            sc.packets = 3;
+            lim.depth = 8;
+            break;
+        case 3: // stream cm5
+            sc.protocol = "stream";
+            sc.packets = 3;
+            lim.depth = 8;
+            break;
+        case 4: // stream cm5, two faults, shallower horizon
+            sc.protocol = "stream";
+            sc.packets = 3;
+            sc.faults = 2;
+            lim.depth = 5;
+            break;
+        case 5: // stream cr
+            sc.protocol = "stream";
+            sc.substrate = Substrate::Cr;
+            sc.packets = 3;
+            lim.depth = 8;
+            break;
+        case 6: // socket cm5
+            sc.protocol = "socket";
+            sc.packets = 3;
+            lim.depth = 8;
+            break;
+        default: // stream cm5 with the seeded bug
+            sc.protocol = "stream";
+            sc.packets = 3;
+            sc.bugAckBeforeInsert = true;
+            lim.depth = 8;
+            break;
+        }
+
+        Explorer explorer(sc, lim);
+        CheckReport rep = explorer.run();
+
+        std::string verdict = "ok";
+        Cell ce = Cell::null();
+        if (rep.violations) {
+            verdict = rep.counterexample.invariant;
+            const Shrinker shrinker(explorer);
+            const ShrinkResult shrunk =
+                shrinker.shrink(rep.counterexample);
+            std::string sched;
+            for (const Choice &c : shrunk.schedule) {
+                if (!sched.empty())
+                    sched += "; ";
+                sched += toString(c.kind);
+                sched += ' ';
+                sched += std::to_string(c.packetId);
+            }
+            ce = T(sched.empty() ? "(default policy)" : sched);
+        }
+        return std::vector<Row>{
+            {T(labels[pi]), I(rep.schedulesRun), I(rep.stepsTotal),
+             T(rep.exhausted ? "yes" : "no"), T(verdict), ce}};
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
 // P1 — perf trajectory: simulator packet throughput (host
 // wall-clock; NOT deterministic, excluded from golden gating).
 // ------------------------------------------------------------------
@@ -1285,6 +1397,7 @@ registerBuiltins(ExperimentRegistry &reg)
     reg.add(makeX9());
     reg.add(makeX10());
     reg.add(makeS1());
+    reg.add(makeC1());
     reg.add(makeP1());
 }
 

@@ -16,10 +16,17 @@
 #include <string>
 #include <vector>
 
-#include "lab/json.hh"
+#include "core/json.hh"
 
 namespace msgsim::lab
 {
+
+// The JSON document model moved down to core (core/json.hh) so
+// lower layers (src/check) can use it; these aliases keep the lab's
+// historical spelling working.
+using msgsim::Json;
+using msgsim::jsonEscape;
+using msgsim::jsonReal;
 
 /** One typed table cell. */
 struct Cell

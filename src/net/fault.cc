@@ -25,6 +25,10 @@ FaultInjector::apply(Packet &pkt)
     }
     if (scriptedCorrupts_.erase(pkt.injectSeq))
         return corrupt();
+    if (scriptedDuplicates_.erase(pkt.injectSeq)) {
+        ++duplications_;
+        return FaultAction::Duplicate;
+    }
 
     if (cfg_.dropRate > 0.0 && rng_.chance(cfg_.dropRate)) {
         ++drops_;
@@ -32,6 +36,10 @@ FaultInjector::apply(Packet &pkt)
     }
     if (cfg_.corruptRate > 0.0 && rng_.chance(cfg_.corruptRate))
         return corrupt();
+    if (cfg_.duplicateRate > 0.0 && rng_.chance(cfg_.duplicateRate)) {
+        ++duplications_;
+        return FaultAction::Duplicate;
+    }
     return FaultAction::None;
 }
 

@@ -25,9 +25,10 @@ namespace msgsim
 /** What the injector did to a packet. */
 enum class FaultAction : std::uint8_t
 {
-    None,    ///< delivered intact
-    Drop,    ///< silently lost in the network
-    Corrupt, ///< delivered with a flipped bit (CRC will catch it)
+    None,      ///< delivered intact
+    Drop,      ///< silently lost in the network
+    Corrupt,   ///< delivered with a flipped bit (CRC will catch it)
+    Duplicate, ///< delivered twice (adaptive-retry ghost copy)
 };
 
 /**
@@ -40,6 +41,10 @@ class FaultInjector
     {
         double dropRate = 0.0;    ///< iid probability of silent loss
         double corruptRate = 0.0; ///< iid probability of bit corruption
+        /// iid probability a packet is delivered twice (a ghost copy
+        /// from a speculative adaptive retry) — exercises the
+        /// sequence-number dedup path of the messaging layers.
+        double duplicateRate = 0.0;
         std::uint64_t seed = 0x5eedfa017ULL;
     };
 
@@ -62,16 +67,26 @@ class FaultInjector
     /** Script a corruption of the packet with injection seq @p n. */
     void scriptCorrupt(std::uint64_t n) { scriptedCorrupts_.insert(n); }
 
+    /** Script a duplication of the packet with injection seq @p n. */
+    void
+    scriptDuplicate(std::uint64_t n)
+    {
+        scriptedDuplicates_.insert(n);
+    }
+
     std::uint64_t drops() const { return drops_; }
     std::uint64_t corruptions() const { return corruptions_; }
+    std::uint64_t duplications() const { return duplications_; }
 
   private:
     Config cfg_;
     Rng rng_;
     std::set<std::uint64_t> scriptedDrops_;
     std::set<std::uint64_t> scriptedCorrupts_;
+    std::set<std::uint64_t> scriptedDuplicates_;
     std::uint64_t drops_ = 0;
     std::uint64_t corruptions_ = 0;
+    std::uint64_t duplications_ = 0;
 };
 
 } // namespace msgsim

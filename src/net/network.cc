@@ -20,12 +20,51 @@ Network::inject(Packet &&pkt)
     pkt.flowIndex = flowCounters_[flow];
     pkt.seal();
     trace(TraceEvent::Inject, pkt);
-    if (!injectImpl(std::move(pkt)))
+    if (gate_ != nullptr) {
+        // A schedule gate replaces the substrate: it owns the packet
+        // until it decides its fate through the gate*() re-entry
+        // points.  Injection always succeeds (port backpressure is a
+        // substrate behaviour the gate models explicitly, if at all).
+        gate_->capture(std::move(pkt));
+    } else if (!injectImpl(std::move(pkt))) {
         return false;
+    }
     ++nextInjectSeq_;
     ++flowCounters_[flow];
     ++stats_.injected;
     return true;
+}
+
+bool
+Network::gateDeliver(Packet &&pkt)
+{
+    return presentToSink(std::move(pkt));
+}
+
+void
+Network::gateDrop(const Packet &pkt)
+{
+    ++stats_.dropped;
+    trace(TraceEvent::Drop, pkt);
+}
+
+void
+Network::gateCorrupt(Packet &pkt)
+{
+    if (!pkt.data.empty())
+        pkt.data[0] ^= 0x1u << (pkt.injectSeq % 32);
+    else
+        pkt.header ^= 0x1u;
+    pkt.corrupted = true;
+    ++stats_.corrupted;
+    trace(TraceEvent::Corrupt, pkt);
+}
+
+void
+Network::gateDuplicate(const Packet &pkt)
+{
+    ++stats_.duplicated;
+    trace(TraceEvent::Duplicate, pkt);
 }
 
 bool

@@ -50,8 +50,27 @@ struct NetStats
     std::uint64_t delivered = 0;     ///< packets presented to a sink
     std::uint64_t dropped = 0;       ///< silently lost (faults)
     std::uint64_t corrupted = 0;     ///< delivered with bad CRC
+    std::uint64_t duplicated = 0;    ///< ghost copies created (faults)
     std::uint64_t deliveryRetries = 0; ///< sink-full redelivery attempts
     std::uint64_t hwRetries = 0;     ///< CR hardware retransmissions
+};
+
+/**
+ * Delivery-schedule interception point (the `src/check` model
+ * checker's hook).  When a gate is attached to a Network, every
+ * injected packet is handed to the gate *instead of* the substrate:
+ * latency models, order policies, and the fault injector are all
+ * replaced by the gate's explicit decisions.  The gate re-enters the
+ * network through the gate*() operations below, so delivery
+ * statistics and packet tracing stay coherent with normal runs.
+ */
+class ScheduleGate
+{
+  public:
+    virtual ~ScheduleGate() = default;
+
+    /** Take ownership of an injected (sealed, stamped) packet. */
+    virtual void capture(Packet &&pkt) = 0;
 };
 
 /**
@@ -105,6 +124,36 @@ class Network
      */
     void setTracer(PacketTracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attach (or detach, with nullptr) a schedule gate.  While a gate
+     * is attached the substrate never sees injected packets: the gate
+     * owns them and decides delivery order and faults explicitly.
+     */
+    void setScheduleGate(ScheduleGate *gate) { gate_ = gate; }
+
+    /** The attached schedule gate (nullptr when none). */
+    ScheduleGate *scheduleGate() const { return gate_; }
+
+    // ------------------------------------------------------------
+    // Gate-side re-entry points.  Only meaningful while a gate is
+    // attached; they keep NetStats and the packet trace coherent so
+    // invariants (packet conservation etc.) read the same counters
+    // in checked and unchecked runs.
+    // ------------------------------------------------------------
+
+    /** Deliver a gated packet to its sink now.  Returns the sink's
+     *  acceptance result (false = refused; the gate keeps it). */
+    bool gateDeliver(Packet &&pkt);
+
+    /** Account a gate decision to drop @p pkt. */
+    void gateDrop(const Packet &pkt);
+
+    /** Corrupt @p pkt in place (flip a bit, mark it) and account. */
+    void gateCorrupt(Packet &pkt);
+
+    /** Account a gate decision to duplicate @p pkt. */
+    void gateDuplicate(const Packet &pkt);
+
   protected:
     /** Record a packet event if a tracer is attached. */
     void
@@ -129,6 +178,7 @@ class Network
 
   private:
     PacketTracer *tracer_ = nullptr;
+    ScheduleGate *gate_ = nullptr;
     std::map<NodeId, DeliverFn> sinks_;
     std::uint64_t nextInjectSeq_ = 0;
     std::map<std::tuple<NodeId, NodeId, int>, std::uint64_t>

@@ -18,6 +18,7 @@ toString(TraceEvent ev)
       case TraceEvent::Corrupt: return "corrupt";
       case TraceEvent::Reject:  return "reject";
       case TraceEvent::HwRetry: return "hw-retry";
+      case TraceEvent::Duplicate: return "duplicate";
       default:                  return "?";
     }
 }

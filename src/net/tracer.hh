@@ -28,12 +28,13 @@ namespace msgsim
 /** Hardware-level packet event kinds. */
 enum class TraceEvent : std::uint8_t
 {
-    Inject,   ///< packet accepted at the injection port
-    Deliver,  ///< packet presented to and accepted by the NI
-    Drop,     ///< silently lost inside the network (fault)
-    Corrupt,  ///< payload corrupted in flight (fault)
-    Reject,   ///< NI refused the packet (full / acceptance check)
-    HwRetry,  ///< CR hardware retransmission
+    Inject,    ///< packet accepted at the injection port
+    Deliver,   ///< packet presented to and accepted by the NI
+    Drop,      ///< silently lost inside the network (fault)
+    Corrupt,   ///< payload corrupted in flight (fault)
+    Reject,    ///< NI refused the packet (full / acceptance check)
+    HwRetry,   ///< CR hardware retransmission
+    Duplicate, ///< ghost copy created inside the network (fault)
 };
 
 /** Printable name of a trace event. */

@@ -184,6 +184,93 @@ FiniteXfer::sendData(Word transferId)
         t.retransmitted += t.packets;
 }
 
+Word
+FiniteXfer::beginTransfer(const FiniteXferParams &params)
+{
+    const int n = stack_.dataWords();
+    if (params.words == 0 ||
+        params.words % static_cast<std::uint32_t>(n) != 0)
+        msgsim_fatal("finite xfer of ", params.words,
+                     " words: not a multiple of packet size ", n);
+
+    Node &src = stack_.node(params.src);
+    Node &dst = stack_.node(params.dst);
+
+    const Word tid = nextTransferId_++;
+    Transfer &t = transfers_[tid];
+    t.src = params.src;
+    t.dst = params.dst;
+    t.words = params.words;
+    t.packets = params.words / static_cast<std::uint32_t>(n);
+    t.srcBuf = src.mem().alloc(params.words);
+    t.dstBuf = dst.mem().alloc(params.words);
+
+    std::uint64_t sm = params.fillSeed;
+    for (std::uint32_t i = 0; i < params.words; ++i)
+        src.mem().write(t.srcBuf + i,
+                        static_cast<Word>(splitMix64(sm)));
+
+    // Reactive mode: the polled alloc reply triggers the data phase
+    // (the checker drives polls from its schedule, not from timers).
+    eventMode_ = true;
+    {
+        // Step 1.
+        FeatureScope fs(src.acct(), Feature::BufferMgmt);
+        ScopedSpan sp(params.src, "finite_xfer", "alloc_req");
+        stack_.cmam(params.src).sendControl(
+            params.dst, CtrlOp::XferAllocReq, tid, {t.packets});
+    }
+    return tid;
+}
+
+bool
+FiniteXfer::transferComplete(Word tid) const
+{
+    return transfers_.at(tid).gotAck;
+}
+
+bool
+FiniteXfer::transferDataOk(Word tid) const
+{
+    const Transfer &t = transfers_.at(tid);
+    if (!t.gotAck)
+        return false;
+    Node &src = stack_.node(t.src);
+    Node &dst = stack_.node(t.dst);
+    for (std::uint32_t i = 0; i < t.words; ++i)
+        if (dst.mem().read(t.dstBuf + i) !=
+            src.mem().read(t.srcBuf + i))
+            return false;
+    return true;
+}
+
+bool
+FiniteXfer::restartTransfer(Word tid, int maxRestarts)
+{
+    Transfer &t = transfers_.at(tid);
+    if (t.gotAck || t.restarts >= maxRestarts)
+        return false;
+    ++t.restarts;
+    Node &s = stack_.node(t.src);
+    FeatureScope fs(s.acct(), Feature::FaultTolerance);
+    t.gotReply = false;
+    if (TraceSession *ts = TraceSession::current())
+        ts->instant(t.src, "finite_xfer", "restart",
+                    static_cast<double>(t.restarts));
+    {
+        ScopedSpan sp(t.src, "finite_xfer", "alloc_req");
+        stack_.cmam(t.src).sendControl(t.dst, CtrlOp::XferAllocReq,
+                                       tid, {t.packets});
+    }
+    return true;
+}
+
+int
+FiniteXfer::transferRestarts(Word tid) const
+{
+    return transfers_.at(tid).restarts;
+}
+
 RunResult
 FiniteXfer::run(const FiniteXferParams &params)
 {

@@ -66,6 +66,40 @@ class FiniteXfer
     /** Execute one transfer and report its cost breakdown. */
     RunResult run(const FiniteXferParams &params);
 
+    // ------------------------------------------------------------
+    // Stepwise API for the model checker (src/check): explicit,
+    // non-blocking operations driven by an external schedule.  The
+    // transfer reacts to polled arrivals (the alloc reply triggers
+    // the data phase); recovery is the caller's explicit decision.
+    // ------------------------------------------------------------
+
+    /**
+     * Set up a transfer and issue step 1 (the alloc request).
+     * Returns the transfer id; the data phase fires reactively when
+     * the reply is polled at the source.
+     */
+    Word beginTransfer(const FiniteXferParams &params);
+
+    /** True once the end-to-end ack (step 6) has arrived. */
+    bool transferComplete(Word tid) const;
+
+    /** True when the destination buffer matches the source's. */
+    bool transferDataOk(Word tid) const;
+
+    /**
+     * Timeout recovery: re-run the whole handshake (the destination
+     * retires its stale segment).  Returns false when @p maxRestarts
+     * is exhausted or the transfer already completed (no restart
+     * issued).
+     */
+    bool restartTransfer(Word tid, int maxRestarts = 16);
+
+    /** Restarts performed so far on a transfer. */
+    int transferRestarts(Word tid) const;
+
+    /** Destination segments currently allocated (buffer-bound probe). */
+    std::size_t activeDstSegments() const { return dstSegments_.size(); }
+
   private:
     struct Transfer
     {

@@ -17,11 +17,35 @@ StreamSocket::StreamSocket(StreamProtocol &proto, NodeId src,
             if (cb)
                 cb(words);
         });
+    open_ = true;
 }
 
 StreamSocket::~StreamSocket()
 {
+    close();
+}
+
+void
+StreamSocket::drain()
+{
+    if (!open_)
+        return;
+    ScopedSpan span(src_, "socket", "drain");
+    // A partial ack group would leave the tail of the ring
+    // unacknowledged forever; flush it before waiting.
+    proto_.flushGroupAcks(chan_);
+    proto_.flushChannel(chan_);
+}
+
+void
+StreamSocket::close()
+{
+    if (!open_)
+        return;
+    drain();
+    ScopedSpan span(src_, "socket", "close");
     proto_.closePersistent(chan_);
+    open_ = false;
 }
 
 void
@@ -43,13 +67,13 @@ StreamSocket::flush()
 std::uint64_t
 StreamSocket::unacked() const
 {
-    return proto_.channelUnacked(chan_);
+    return open_ ? proto_.channelUnacked(chan_) : 0;
 }
 
 std::uint64_t
 StreamSocket::oooArrivals() const
 {
-    return proto_.channelOoo(chan_);
+    return open_ ? proto_.channelOoo(chan_) : 0;
 }
 
 } // namespace msgsim

@@ -73,6 +73,28 @@ class StreamSocket
      *  in order AND acknowledged. */
     void flush();
 
+    /**
+     * Graceful teardown, phase 1: flush any partial group ack, then
+     * drive the machine until the retransmission ring is empty — every
+     * written packet delivered in order and its final ack consumed.
+     * Idempotent; a no-op once the socket is closed.
+     */
+    void drain();
+
+    /**
+     * Graceful teardown, phase 2: drain, then retire the channel and
+     * return its modeled resources.  Safe to call with packets still
+     * in flight (they are drained first), safe to call twice.  The
+     * destructor closes automatically when the user did not.
+     */
+    void close();
+
+    /** True until close() completes. */
+    bool isOpen() const { return open_; }
+
+    /** The underlying protocol channel id (for instrumentation). */
+    Word channel() const { return chan_; }
+
     /** Packets written so far. */
     std::uint64_t packetsWritten() const { return packetsWritten_; }
 
@@ -86,6 +108,7 @@ class StreamSocket
     StreamProtocol &proto_;
     NodeId src_ = invalidNode;
     Word chan_ = 0;
+    bool open_ = false;
     std::uint64_t packetsWritten_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include "cmam/send_path.hh"
 #include "sim/log.hh"
+#include "sim/metrics.hh"
 #include "sim/rng.hh"
 #include "sim/trace_session.hh"
 
@@ -201,6 +202,7 @@ StreamProtocol::retransmit(Channel &ch, std::uint32_t seq)
         hdr::pack(ch.id, seq & hdr::maxFieldB), data, 0);
     ch.sentAt[seq] = stack_.sim().now();
     ++ch.retx;
+    ++totals_.retransmissions;
 }
 
 void
@@ -262,19 +264,29 @@ StreamProtocol::onStreamData(NodeId self, NodeId pktSrc)
         drainReorder(ch);
         ackArrival(ch, seq);
     } else if (seq > ch.expected && !ch.pending.count(seq)) {
-        insertReorder(ch, seq, data);
-        ++ch.ooo;
-        ackArrival(ch, seq);
+        if (bugAckBeforeInsert_) {
+            // Injected bug (see setBugAckBeforeInsert): the ack goes
+            // out first, and the insert never happens — the packet is
+            // acknowledged yet lost.
+            ackArrival(ch, seq);
+        } else {
+            insertReorder(ch, seq, data);
+            ++ch.ooo;
+            ++totals_.oooBuffered;
+            ackArrival(ch, seq);
+        }
     } else {
         // Duplicate (retransmission overlap or lost ack): discard and
         // re-acknowledge so the source can release its buffer.
         p.regOps(2);
         ++ch.dups;
+        ++totals_.duplicatesSuppressed;
         FeatureScope ft(a, Feature::FaultTolerance);
         stack_.cmam(ch.dst).sendTagged(
             HwTag::StreamAck, ch.src,
             hdr::pack(ch.id, seq & hdr::maxFieldB), {seq, 0}, 4, 1);
         ++ch.acksSent;
+        ++totals_.acksSent;
     }
     (void)pktSrc;
 }
@@ -393,6 +405,7 @@ StreamProtocol::ackArrival(Channel &ch, std::uint32_t seq)
             HwTag::StreamAck, ch.src,
             hdr::pack(ch.id, seq & hdr::maxFieldB), {seq, 0}, 4, 1);
         ++ch.acksSent;
+        ++totals_.acksSent;
         return;
     }
     // Group acknowledgement: track arrivals (2 reg) and emit one
@@ -406,6 +419,7 @@ StreamProtocol::ackArrival(Channel &ch, std::uint32_t seq)
             HwTag::StreamAck, ch.src,
             hdr::pack(ch.id, cum & hdr::maxFieldB), {cum, 1}, 4, 1);
         ++ch.acksSent;
+        ++totals_.acksSent;
     }
 }
 
@@ -422,6 +436,7 @@ StreamProtocol::flushGroupAck(Channel &ch)
         HwTag::StreamAck, ch.src,
         hdr::pack(ch.id, cum & hdr::maxFieldB), {cum, 1}, 4, 1);
     ++ch.acksSent;
+    ++totals_.acksSent;
 }
 
 void
@@ -544,12 +559,24 @@ StreamProtocol::sendOn(Word chan, const std::vector<Word> &words)
          off += static_cast<std::size_t>(n)) {
         // Software end-to-end flow control: the retransmission ring
         // bounds the in-flight window; block until a slot frees.
+        // Blocking uses the same timeout model as flushChannel: a
+        // lost packet leaves a hole no cumulative group ack can
+        // cover, so idle rounds must eventually retransmit.
         int guard = 0;
+        std::size_t before = ch.unacked.size();
         while (ch.unacked.size() >= ch.retxSlots - 1) {
             if (ch.groupAck > 1 && ch.groupCount > 0)
                 flushGroupAck(ch);
             progressOnce();
-            if (++guard > 1000)
+            if (ch.unacked.size() < before) {
+                before = ch.unacked.size();
+                guard = 0;
+                continue;
+            }
+            ++guard;
+            if (guard % 4 == 0)
+                retransmitUnacked(chan);
+            if (guard > 1000)
                 msgsim_panic("socket write stalled: ring never "
                              "drains on channel ", chan);
         }
@@ -569,11 +596,16 @@ StreamProtocol::flushChannel(Word chan)
         const std::size_t before = ch.unacked.size();
         progressOnce();
         if (ch.unacked.size() == before) {
-            // No forward progress: a partial ack group is holding
-            // things up -- flush it.
+            // No forward progress: a partial ack group may be holding
+            // things up -- flush it; if that still isn't enough (a
+            // data or ack packet was lost outright), fall back to the
+            // timeout model and resend everything outstanding.
             if (ch.groupAck > 1 && ch.groupCount > 0)
                 flushGroupAck(ch);
-            if (++idle_rounds > 64)
+            ++idle_rounds;
+            if (idle_rounds % 4 == 0)
+                retransmitUnacked(chan);
+            if (idle_rounds > 256)
                 msgsim_panic("socket flush stalled on channel ", chan);
         } else {
             idle_rounds = 0;
@@ -598,6 +630,72 @@ std::uint64_t
 StreamProtocol::channelOoo(Word chan) const
 {
     return channels_.at(chan).ooo;
+}
+
+std::uint64_t
+StreamProtocol::channelDups(Word chan) const
+{
+    return channels_.at(chan).dups;
+}
+
+std::uint64_t
+StreamProtocol::channelDelivered(Word chan) const
+{
+    return channels_.at(chan).deliveredPackets;
+}
+
+std::size_t
+StreamProtocol::channelPending(Word chan) const
+{
+    return channels_.at(chan).pending.size();
+}
+
+std::uint32_t
+StreamProtocol::channelRetxSlots(Word chan) const
+{
+    return channels_.at(chan).retxSlots;
+}
+
+std::uint32_t
+StreamProtocol::channelArenaSlots(Word chan) const
+{
+    return channels_.at(chan).arenaSlots;
+}
+
+bool
+StreamProtocol::channelOpen(Word chan) const
+{
+    return channels_.count(chan) != 0;
+}
+
+void
+StreamProtocol::retransmitUnacked(Word chan)
+{
+    Channel &ch = channels_.at(chan);
+    std::vector<std::uint32_t> seqs;
+    seqs.reserve(ch.unacked.size());
+    for (const auto &[seq, data] : ch.unacked)
+        seqs.push_back(seq);
+    for (auto seq : seqs)
+        retransmit(ch, seq);
+}
+
+void
+StreamProtocol::flushGroupAcks(Word chan)
+{
+    flushGroupAck(channels_.at(chan));
+}
+
+void
+StreamProtocol::publishMetrics(MetricsRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.counter(prefix + ".retransmissions") =
+        totals_.retransmissions;
+    reg.counter(prefix + ".duplicates_suppressed") =
+        totals_.duplicatesSuppressed;
+    reg.counter(prefix + ".ooo_buffered") = totals_.oooBuffered;
+    reg.counter(prefix + ".acks_sent") = totals_.acksSent;
 }
 
 void

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "protocols/result.hh"
@@ -42,6 +43,8 @@
 
 namespace msgsim
 {
+
+class MetricsRegistry;
 
 /** Parameters of one stream run. */
 struct StreamParams
@@ -103,6 +106,64 @@ class StreamProtocol
 
     /** Out-of-order arrivals absorbed on a channel so far. */
     std::uint64_t channelOoo(Word chan) const;
+
+    /** Duplicate arrivals suppressed on a channel so far. */
+    std::uint64_t channelDups(Word chan) const;
+
+    /** Packets delivered in order on a channel so far. */
+    std::uint64_t channelDelivered(Word chan) const;
+
+    /** Reorder-buffer occupancy (packets held) on a channel. */
+    std::size_t channelPending(Word chan) const;
+
+    /** Retransmission-ring capacity of a channel, in packets. */
+    std::uint32_t channelRetxSlots(Word chan) const;
+
+    /** Reorder-arena capacity of a channel, in packets. */
+    std::uint32_t channelArenaSlots(Word chan) const;
+
+    /** True while @p chan names an open channel. */
+    bool channelOpen(Word chan) const;
+
+    /**
+     * Timeout-model recovery for persistent channels: resend every
+     * currently unacknowledged packet on @p chan.  This is the
+     * polling-mode stand-in for the event-mode retransmission timer;
+     * flushChannel and the model checker invoke it when a channel
+     * stops making progress.
+     */
+    void retransmitUnacked(Word chan);
+
+    /** Emit any partial cumulative group ack pending on @p chan. */
+    void flushGroupAcks(Word chan);
+
+    /** Protocol-wide cumulative counters, across all channels. */
+    struct Totals
+    {
+        std::uint64_t retransmissions = 0;
+        std::uint64_t duplicatesSuppressed = 0;
+        std::uint64_t oooBuffered = 0;
+        std::uint64_t acksSent = 0;
+    };
+
+    /** Cumulative counters since construction. */
+    const Totals &totals() const { return totals_; }
+
+    /**
+     * Snapshot the protocol-wide counters into @p reg under
+     * "<prefix>." ("stream.retransmissions" etc.).
+     */
+    void publishMetrics(MetricsRegistry &reg,
+                        const std::string &prefix = "stream") const;
+
+    /**
+     * Deliberately re-introduce a classic protocol bug, for the
+     * model checker's demonstration (docs/CHECKING.md): acknowledge
+     * an out-of-order arrival *before* inserting it into the reorder
+     * buffer — and then lose it.  The sender releases the
+     * retransmission slot, so the packet is gone for good.
+     */
+    void setBugAckBeforeInsert(bool on) { bugAckBeforeInsert_ = on; }
 
     /** Hardware packet payload size of the underlying stack. */
     int packetWords() const { return stack_.dataWords(); }
@@ -208,6 +269,8 @@ class StreamProtocol
     };
 
     Stack &stack_;
+    Totals totals_;
+    bool bugAckBeforeInsert_ = false;
     std::map<Word, Channel> channels_;
     std::map<NodeId, bool> pollPending_;
     RecvDiscipline runDiscipline_ = RecvDiscipline::Poll;

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests of the schedule-space model checker (PR 4): controller
+ * eligibility under both substrates, bounded-exhaustive exploration
+ * with invariants holding, determinism of reports, the seeded
+ * ack-before-insert stream bug being caught / shrunk / replayed
+ * through its JSON counterexample end to end, and tolerant replay of
+ * stale schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/explorer.hh"
+#include "check/harness.hh"
+#include "check/replay.hh"
+#include "check/shrink.hh"
+
+namespace msgsim::check
+{
+namespace
+{
+
+ScenarioConfig
+streamScenario(std::uint32_t packets = 3, int faults = 1)
+{
+    ScenarioConfig sc;
+    sc.protocol = "stream";
+    sc.packets = packets;
+    sc.faults = faults;
+    return sc;
+}
+
+// --- Controller eligibility ---------------------------------------
+
+TEST(Controller, Cm5ExposesEveryPacketAndAllFaultKinds)
+{
+    ScenarioConfig sc = streamScenario();
+    auto h = ScenarioHarness::make(sc);
+    h->start();
+    h->progress();
+    // All three data packets are in flight and schedulable.
+    ASSERT_EQ(h->controller().inFlight(), 3u);
+    const auto en = h->controller().enabled(
+        /*faultsLeft=*/1,
+        kFaultDrop | kFaultCorrupt | kFaultDuplicate);
+    // 3 packets x (deliver, drop, corrupt, duplicate).
+    EXPECT_EQ(en.size(), 12u);
+    // Canonical order: packet 0's choices first, Deliver leading.
+    EXPECT_EQ(en[0].kind, ChoiceKind::Deliver);
+    EXPECT_EQ(en[0].packetId, 0u);
+    EXPECT_EQ(en[1].kind, ChoiceKind::Drop);
+
+    // With the fault budget spent, only deliveries remain.
+    const auto delivers = h->controller().enabled(0, 0xff);
+    EXPECT_EQ(delivers.size(), 3u);
+    for (const auto &c : delivers)
+        EXPECT_EQ(c.kind, ChoiceKind::Deliver);
+}
+
+TEST(Controller, CrExposesOnlyFlowHeadsAndNoFaults)
+{
+    ScenarioConfig sc = streamScenario();
+    sc.substrate = Substrate::Cr;
+    auto h = ScenarioHarness::make(sc);
+    h->start();
+    h->progress();
+    ASSERT_EQ(h->controller().inFlight(), 3u);
+    // Reliable in-order substrate: the single 0->1 flow exposes only
+    // its oldest packet, and no fault choices at all.
+    const auto en = h->controller().enabled(
+        /*faultsLeft=*/2,
+        kFaultDrop | kFaultCorrupt | kFaultDuplicate);
+    ASSERT_EQ(en.size(), 1u);
+    EXPECT_EQ(en[0].kind, ChoiceKind::Deliver);
+    EXPECT_EQ(en[0].packetId, 0u);
+}
+
+TEST(Controller, DuplicateClonesWithFreshId)
+{
+    ScenarioConfig sc = streamScenario();
+    auto h = ScenarioHarness::make(sc);
+    h->start();
+    h->progress();
+    const auto before = h->controller().inFlight();
+    ASSERT_TRUE(h->controller().apply(
+        {ChoiceKind::Duplicate, 1}));
+    EXPECT_EQ(h->controller().inFlight(), before + 1);
+    // The clone got the next fresh id; the original is untouched.
+    const auto &pkts = h->controller().packets();
+    EXPECT_EQ(pkts.back().id, 3u);
+    EXPECT_EQ(pkts.back().pkt.flowIndex, pkts[1].pkt.flowIndex);
+    EXPECT_EQ(h->controller().network().stats().duplicated, 1u);
+
+    // A stale choice (unknown id) is refused, not fatal.
+    EXPECT_FALSE(h->controller().apply({ChoiceKind::Deliver, 99}));
+}
+
+// --- Exploration ---------------------------------------------------
+
+TEST(Explorer, SinglePacketExhaustiveAndClean)
+{
+    ScenarioConfig sc;
+    sc.protocol = "single_packet";
+    sc.packets = 3;
+    ExploreLimits lim;
+    lim.depth = 12;
+    CheckReport rep = Explorer(sc, lim).run();
+    EXPECT_TRUE(rep.exhausted);
+    EXPECT_EQ(rep.violations, 0u);
+    // 3! fault-free orderings + 36 single-fault schedules.
+    EXPECT_EQ(rep.schedulesRun, 42u);
+}
+
+TEST(Explorer, StreamExhaustiveAndClean)
+{
+    ExploreLimits lim;
+    lim.depth = 8;
+    lim.budget = 100000;
+    CheckReport rep = Explorer(streamScenario(), lim).run();
+    EXPECT_TRUE(rep.exhausted);
+    EXPECT_EQ(rep.violations, 0u);
+    EXPECT_GT(rep.schedulesRun, 1000u);
+}
+
+TEST(Explorer, StreamTwoFaultsExhaustiveAndClean)
+{
+    ExploreLimits lim;
+    lim.depth = 5;
+    lim.budget = 100000;
+    CheckReport rep =
+        Explorer(streamScenario(3, /*faults=*/2), lim).run();
+    EXPECT_TRUE(rep.exhausted);
+    EXPECT_EQ(rep.violations, 0u);
+}
+
+TEST(Explorer, SocketExhaustiveIncludingVerifiedTeardown)
+{
+    ScenarioConfig sc = streamScenario();
+    sc.protocol = "socket";
+    ExploreLimits lim;
+    lim.depth = 6;
+    lim.budget = 100000;
+    CheckReport rep = Explorer(sc, lim).run();
+    EXPECT_TRUE(rep.exhausted);
+    EXPECT_EQ(rep.violations, 0u);
+}
+
+TEST(Explorer, RandomWalksStayClean)
+{
+    ExploreLimits lim;
+    lim.depth = 0; // no DFS: walks only
+    lim.walks = 200;
+    lim.seed = 42;
+    CheckReport rep = Explorer(streamScenario(), lim).run();
+    EXPECT_EQ(rep.violations, 0u);
+    EXPECT_EQ(rep.walkSchedules, 200u);
+}
+
+TEST(Explorer, ReportIsDeterministic)
+{
+    ExploreLimits lim;
+    lim.depth = 6;
+    lim.walks = 50;
+    lim.seed = 7;
+    const ScenarioConfig sc = streamScenario(3, 2);
+    const std::string a = reportToJson(Explorer(sc, lim).run());
+    const std::string b = reportToJson(Explorer(sc, lim).run());
+    EXPECT_EQ(a, b); // byte-identical, the golden gate's contract
+}
+
+// --- The seeded bug: catch, shrink, serialize, replay --------------
+
+TEST(Explorer, CatchesAckBeforeInsertBugEndToEnd)
+{
+    ScenarioConfig sc = streamScenario();
+    sc.bugAckBeforeInsert = true;
+    ExploreLimits lim;
+    lim.depth = 8;
+    Explorer explorer(sc, lim);
+
+    CheckReport rep = explorer.run();
+    ASSERT_EQ(rep.violations, 1u);
+    EXPECT_EQ(rep.counterexample.invariant, "stalled");
+
+    // Shrink: the minimal trigger is a single out-of-order delivery.
+    Shrinker shrinker(explorer);
+    const ShrinkResult shrunk = shrinker.shrink(rep.counterexample);
+    ASSERT_EQ(shrunk.schedule.size(), 1u);
+    EXPECT_EQ(shrunk.schedule[0].kind, ChoiceKind::Deliver);
+    EXPECT_EQ(shrunk.schedule[0].packetId, 2u);
+    EXPECT_TRUE(shrunk.result.violated);
+    EXPECT_EQ(shrunk.result.invariant, "stalled");
+
+    // Serialize the counterexample and round-trip it through JSON.
+    Counterexample ce;
+    ce.scenario = sc;
+    ce.invariant = shrunk.result.invariant;
+    ce.detail = shrunk.result.detail;
+    ce.schedule = shrunk.schedule;
+    const std::string text = counterexampleToJson(ce);
+
+    Counterexample parsed;
+    std::string error;
+    ASSERT_TRUE(counterexampleFromJson(text, parsed, error)) << error;
+    EXPECT_EQ(parsed.scenario.protocol, "stream");
+    EXPECT_TRUE(parsed.scenario.bugAckBeforeInsert);
+    EXPECT_EQ(parsed.invariant, "stalled");
+    ASSERT_EQ(parsed.schedule.size(), 1u);
+    EXPECT_EQ(parsed.schedule[0], ce.schedule[0]);
+
+    // Replay the parsed counterexample: the violation reproduces.
+    Explorer replayer(parsed.scenario, lim);
+    const ScheduleResult res = replayer.replay(parsed.schedule);
+    EXPECT_TRUE(res.violated);
+    EXPECT_EQ(res.invariant, parsed.invariant);
+
+    // And with the bug knob off, the same schedule passes.
+    ScenarioConfig fixed = parsed.scenario;
+    fixed.bugAckBeforeInsert = false;
+    const ScheduleResult ok =
+        Explorer(fixed, lim).replay(parsed.schedule);
+    EXPECT_FALSE(ok.violated);
+}
+
+TEST(Explorer, ReplayToleratesStaleChoices)
+{
+    // A schedule full of junk ids: tolerant replay skips them and
+    // the default policy completes the run cleanly.
+    ExploreLimits lim;
+    std::vector<Choice> junk = {{ChoiceKind::Deliver, 77},
+                                {ChoiceKind::Drop, 88},
+                                {ChoiceKind::Deliver, 1}};
+    const ScheduleResult res =
+        Explorer(streamScenario(), lim).replay(junk);
+    EXPECT_FALSE(res.violated);
+    // Only the one real choice (and defaults) actually executed —
+    // and no fault fired, so every taken choice is a delivery.
+    for (const Choice &c : res.schedule)
+        EXPECT_EQ(c.kind, ChoiceKind::Deliver);
+}
+
+TEST(Explorer, FaultSchedulesExerciseRecovery)
+{
+    // Force a drop of the first data packet, then let the default
+    // policy run: the kick-based retransmission must recover it.
+    ExploreLimits lim;
+    const ScheduleResult res = Explorer(streamScenario(), lim)
+                                   .replay({{ChoiceKind::Drop, 0}});
+    EXPECT_FALSE(res.violated) << res.invariant << ": " << res.detail;
+}
+
+} // namespace
+} // namespace msgsim::check

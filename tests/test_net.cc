@@ -148,6 +148,72 @@ TEST(FaultInjector, ScriptedFaultsFireOnce)
     EXPECT_EQ(fi.apply(q), FaultAction::None);
 }
 
+TEST(FaultInjector, ScriptedDuplicateFiresOnceAndLeavesPacketIntact)
+{
+    FaultInjector fi;
+    fi.scriptDuplicate(3);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        Packet p(0, 1, HwTag::UserAm, 0, {9, 8, 7, 6});
+        p.injectSeq = i;
+        p.seal();
+        const auto action = fi.apply(p);
+        if (i == 3) {
+            EXPECT_EQ(action, FaultAction::Duplicate);
+            // The duplicate is a ghost copy, not a corruption: the
+            // original payload must still checksum clean.
+            EXPECT_TRUE(p.checksumOk());
+        } else {
+            EXPECT_EQ(action, FaultAction::None);
+        }
+    }
+    EXPECT_EQ(fi.duplications(), 1u);
+    EXPECT_EQ(fi.drops(), 0u);
+    EXPECT_EQ(fi.corruptions(), 0u);
+
+    // One-shot, like the other scripts.
+    Packet q(0, 1, HwTag::UserAm, 0, {1});
+    q.injectSeq = 3;
+    q.seal();
+    EXPECT_EQ(fi.apply(q), FaultAction::None);
+}
+
+TEST(FaultInjector, DuplicateRateRoughlyCalibrated)
+{
+    FaultInjector::Config cfg;
+    cfg.duplicateRate = 0.08;
+    FaultInjector fi(cfg);
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        Packet p(0, 1, HwTag::UserAm, 0, {1, 2});
+        p.injectSeq = static_cast<std::uint64_t>(i);
+        p.seal();
+        fi.apply(p);
+    }
+    EXPECT_NEAR(static_cast<double>(fi.duplications()) / trials, 0.08,
+                0.01);
+    EXPECT_EQ(fi.drops(), 0u);
+    EXPECT_EQ(fi.corruptions(), 0u);
+}
+
+TEST(FaultInjector, DropScriptOutranksDuplicateScript)
+{
+    // Precedence on the same packet: scripted drop wins; the
+    // duplicate script is NOT consumed and fires on a later packet.
+    FaultInjector fi;
+    fi.scriptDrop(2);
+    fi.scriptDuplicate(2);
+    Packet p(0, 1, HwTag::UserAm, 0, {1, 2});
+    p.injectSeq = 2;
+    p.seal();
+    EXPECT_EQ(fi.apply(p), FaultAction::Drop);
+    EXPECT_EQ(fi.duplications(), 0u);
+
+    Packet q(0, 1, HwTag::UserAm, 0, {1, 2});
+    q.injectSeq = 2;
+    q.seal();
+    EXPECT_EQ(fi.apply(q), FaultAction::Duplicate);
+}
+
 // --- Order policies -----------------------------------------------
 
 std::vector<Packet>

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cm5net/cm5_network.hh"
 #include "protocols/socket.hh"
+#include "sim/metrics.hh"
 #include "sim/rng.hh"
 
 namespace msgsim
@@ -153,6 +155,164 @@ TEST(Socket, WritesChargePaperRates)
     EXPECT_EQ(cost.featureTotal(Feature::InOrderDelivery), 5u);
     EXPECT_EQ(cost.featureTotal(Feature::FaultTolerance), 8u);
     sock.flush();
+}
+
+TEST(Socket, CloseWithPacketsInFlightTearsDownCleanly)
+{
+    // close() with unconsumed acks and undelivered packets still in
+    // the network must drain the retransmission ring, wait for the
+    // final acks, and only then retire the channel.
+    Stack stack(scrambled());
+    StreamProtocol proto(stack);
+    std::vector<Word> got;
+    StreamSocket sock(proto, 0, 1,
+                      [&got](const std::vector<Word> &w) {
+                          got.insert(got.end(), w.begin(), w.end());
+                      });
+
+    std::vector<Word> sent(4 * 24);
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        sent[i] = static_cast<Word>(0xf00d0000 + i);
+    sock.write(sent);
+    ASSERT_TRUE(sock.isOpen());
+    // No flush: the write leaves acks (and possibly data) in flight.
+    sock.close();
+
+    EXPECT_FALSE(sock.isOpen());
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(sock.unacked(), 0u);
+    sock.close(); // idempotent
+    sock.drain(); // no-op once closed
+    EXPECT_FALSE(sock.isOpen());
+    EXPECT_EQ(got, sent);
+}
+
+TEST(Socket, DrainThenCloseIsEquivalentToFlush)
+{
+    Stack stack(scrambled());
+    StreamProtocol proto(stack);
+    std::size_t delivered = 0;
+    StreamSocket sock(proto, 1, 2,
+                      [&delivered](const std::vector<Word> &w) {
+                          delivered += w.size();
+                      });
+    sock.write(std::vector<Word>(4 * 9, 7));
+    sock.drain();
+    EXPECT_TRUE(sock.isOpen()); // drain alone keeps the channel
+    EXPECT_EQ(delivered, 4u * 9u);
+    EXPECT_EQ(sock.unacked(), 0u);
+    sock.close();
+    EXPECT_FALSE(sock.isOpen());
+}
+
+/**
+ * Satellite 4: a scripted fault on exactly the data packet that
+ * fills the retransmission ring (the boundary where write() starts
+ * blocking on software flow control).  With ringPackets = 4 the
+ * writes below inject data packets with injectSeq 0..3 back to back
+ * (no acks can interleave until the blocked write first drains), so
+ * seq 3 is the ring-filling packet.
+ */
+void
+runRingBoundaryFault(int groupAck, bool duplicate)
+{
+    Stack stack(StackConfig{});
+    auto *net = dynamic_cast<Cm5Network *>(&stack.network());
+    ASSERT_NE(net, nullptr);
+    if (duplicate)
+        net->faults().scriptDuplicate(3);
+    else
+        net->faults().scriptDrop(3);
+
+    StreamProtocol proto(stack);
+    std::vector<Word> got;
+    StreamSocket::Options opts;
+    opts.groupAck = groupAck;
+    opts.ringPackets = 4;
+    StreamSocket sock(proto, 0, 1,
+                      [&got](const std::vector<Word> &w) {
+                          got.insert(got.end(), w.begin(), w.end());
+                      },
+                      opts);
+
+    // 8 packets: when the boundary packet (seq 3) is lost, the later
+    // arrivals 4..7 buffer out of order — within the receiver's
+    // reorder arena (ringPackets + 2 slots), which bounds how far a
+    // sender may outrun an unfilled hole.
+    std::vector<Word> sent(4 * 8);
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        sent[i] = static_cast<Word>(0xace0000 + i);
+    sock.write(sent);
+    sock.close();
+
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(sock.unacked(), 0u);
+    const auto t = proto.totals();
+    if (duplicate) {
+        // The ghost copy must be suppressed by sequence dedup, with
+        // no retransmission storm.
+        EXPECT_GE(t.duplicatesSuppressed, 1u);
+        EXPECT_EQ(net->stats().duplicated, 1u);
+    } else {
+        // The lost boundary packet must be recovered.
+        EXPECT_GE(t.retransmissions, 1u);
+        EXPECT_EQ(net->stats().dropped, 1u);
+    }
+}
+
+TEST(Socket, DropAtRingFullBoundaryPerPacketAcks)
+{
+    runRingBoundaryFault(/*groupAck=*/1, /*duplicate=*/false);
+}
+
+TEST(Socket, DropAtRingFullBoundaryGroupAcks)
+{
+    runRingBoundaryFault(/*groupAck=*/4, /*duplicate=*/false);
+}
+
+TEST(Socket, DuplicateAtRingFullBoundaryPerPacketAcks)
+{
+    runRingBoundaryFault(/*groupAck=*/1, /*duplicate=*/true);
+}
+
+TEST(Socket, DuplicateAtRingFullBoundaryGroupAcks)
+{
+    runRingBoundaryFault(/*groupAck=*/4, /*duplicate=*/true);
+}
+
+TEST(Socket, StreamCountersReachTheMetricsRegistry)
+{
+    // Satellite 3: the stream layer's recovery counters publish into
+    // the PR 1 metrics registry.
+    Stack stack(scrambled());
+    auto *net = dynamic_cast<Cm5Network *>(&stack.network());
+    ASSERT_NE(net, nullptr);
+    net->faults().scriptDrop(5);
+    net->faults().scriptDuplicate(9);
+
+    StreamProtocol proto(stack);
+    std::size_t delivered = 0;
+    StreamSocket sock(proto, 0, 3,
+                      [&delivered](const std::vector<Word> &w) {
+                          delivered += w.size();
+                      });
+    sock.write(std::vector<Word>(4 * 16, 3));
+    sock.flush();
+    EXPECT_EQ(delivered, 4u * 16u);
+
+    MetricsRegistry reg;
+    proto.publishMetrics(reg);
+    EXPECT_EQ(reg.counter("stream.retransmissions"),
+              proto.totals().retransmissions);
+    EXPECT_EQ(reg.counter("stream.duplicates_suppressed"),
+              proto.totals().duplicatesSuppressed);
+    EXPECT_EQ(reg.counter("stream.ooo_buffered"),
+              proto.totals().oooBuffered);
+    EXPECT_EQ(reg.counter("stream.acks_sent"),
+              proto.totals().acksSent);
+    EXPECT_GE(reg.counter("stream.retransmissions"), 1u);
+    EXPECT_GE(reg.counter("stream.duplicates_suppressed"), 1u);
+    EXPECT_GT(reg.counter("stream.ooo_buffered"), 0u);
 }
 
 } // namespace

@@ -12,6 +12,8 @@
 #                                it must NOT recurse into ctest)
 #   ./verify.sh --sanitize       build tier-1 tests under ASan+UBSan
 #                                in a separate build tree and run them
+#   ./verify.sh --check          only the model-checker gate, against
+#                                an already-built build/ tree
 set -euo pipefail
 
 repo_dir="$(cd "$(dirname "$0")" && pwd)"
@@ -73,6 +75,48 @@ check_lab() {
     echo "lab ok: golden gate + byte-deterministic sweep"
 }
 
+check_model_checker() {
+    local chk="$repo_dir/build/src/check/msgsim-check"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    # Bounded-exhaustive exploration of the core protocols must come
+    # back clean...
+    "$chk" --protocol=single_packet --packets=3 --faults=1 \
+        --depth=12 --quiet
+    "$chk" --protocol=stream --packets=3 --faults=1 --depth=8 --quiet
+    "$chk" --protocol=socket --packets=3 --faults=1 --depth=6 --quiet
+
+    # ... the report must be byte-deterministic ...
+    "$chk" --protocol=stream --packets=3 --faults=2 --depth=5 \
+        --walks=50 --seed=7 --quiet --json-out="$tmpdir/a.json"
+    "$chk" --protocol=stream --packets=3 --faults=2 --depth=5 \
+        --walks=50 --seed=7 --quiet --json-out="$tmpdir/b.json"
+    cmp "$tmpdir/a.json" "$tmpdir/b.json"
+
+    # ... the seeded bug must be caught and shrunk ...
+    if "$chk" --protocol=stream --packets=3 --faults=1 --depth=8 \
+        --bug --quiet --ce-out="$tmpdir/ce.json"; then
+        echo "model checker FAILED to catch the seeded bug" >&2
+        return 1
+    fi
+    "$chk" --replay="$tmpdir/ce.json" --quiet
+
+    # ... and every committed counterexample must still reproduce.
+    local replay
+    for replay in "$repo_dir"/tests/replays/*.json; do
+        "$chk" --replay="$replay" --quiet
+    done
+    echo "check ok: exhaustive exploration clean, deterministic, bug caught + replayed"
+}
+
+if [[ "${1:-}" == "--check" ]]; then
+    check_model_checker
+    echo "verify --check: OK"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--quick" ]]; then
     [[ $# -eq 2 ]] || { echo "usage: $0 --quick <bulk_transfer>" >&2; exit 2; }
     check_traced_run "$2"
@@ -96,4 +140,5 @@ cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 check_traced_run "$repo_dir/build/examples/bulk_transfer"
 check_lab
+check_model_checker
 echo "verify: OK"
