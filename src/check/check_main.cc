@@ -16,12 +16,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "check/explorer.hh"
 #include "check/replay.hh"
 #include "check/shrink.hh"
+#include "prof/lineage.hh"
 #include "sim/obs_cli.hh"
 
 namespace
@@ -64,7 +66,9 @@ usage(std::FILE *out)
         "  --quiet            suppress the stdout summary\n"
         "\n"
         "observability:\n"
-        "  --trace-out=FILE   Chrome trace-event timeline\n"
+        "  --trace-out=FILE   Chrome trace-event timeline; with\n"
+        "                     --replay, the counterexample's packets\n"
+        "                     carry lineage flow arrows\n"
         "  --metrics-out=FILE metrics registry dump\n",
         out);
 }
@@ -185,7 +189,7 @@ writeFile(const std::string &path, const std::string &text)
 }
 
 int
-runReplay(const CliOptions &cli)
+runReplay(const CliOptions &cli, obs::Scope &scope)
 {
     std::ifstream is(cli.replayFile, std::ios::binary);
     if (!is) {
@@ -204,10 +208,20 @@ runReplay(const CliOptions &cli)
         return 2;
     }
 
+    // When the replay is traced, record packet lineage too: the
+    // exported timeline then draws the counterexample's causal
+    // send -> deliver -> handler arrows.
+    std::unique_ptr<prof::LineageSession> lineage;
+    if (scope.tracing())
+        lineage = std::make_unique<prof::LineageSession>();
+
     Explorer explorer(ce.scenario, cli.limits);
     const ScheduleResult res = explorer.replay(ce.schedule);
     const bool reproduced =
         res.violated && res.invariant == ce.invariant;
+
+    if (lineage && scope.session() != nullptr)
+        lineage->exportTo(*scope.session());
     if (!cli.quiet) {
         if (reproduced)
             std::printf("replay %s: reproduced '%s' (%s)\n",
@@ -301,6 +315,6 @@ main(int argc, char **argv)
         return 2;
 
     if (!cli.replayFile.empty())
-        return runReplay(cli);
+        return runReplay(cli, scope);
     return runExplore(cli);
 }

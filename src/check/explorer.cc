@@ -5,6 +5,7 @@
 
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "sim/trace_session.hh"
 
 namespace msgsim::check
 {
@@ -20,6 +21,11 @@ Explorer::executeOne(const Decider &decide,
     log_detail::throwOnError = true;
     try {
         auto h = ScenarioHarness::make(cfg_);
+        // Each schedule gets a fresh machine: retarget the attached
+        // session's clock so a traced replay (--replay --trace-out)
+        // timestamps on the harness simulator.
+        if (TraceSession *ts = TraceSession::current())
+            ts->bindClock(&h->stack().sim());
         InvariantSuite inv;
         const unsigned kinds = cfg_.effectiveFaultKinds();
         int faultsLeft = cfg_.faults;
@@ -96,6 +102,9 @@ Explorer::executeOne(const Decider &decide,
         res.invariant = err.isPanic ? "panic" : "fatal";
         res.detail = err.message;
     }
+    // The harness (and its simulator) is gone: drop the clock.
+    if (TraceSession *ts = TraceSession::current())
+        ts->bindClock(nullptr);
     log_detail::throwOnError = savedThrow;
     return res;
 }

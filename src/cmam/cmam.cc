@@ -1,6 +1,7 @@
 #include "cmam/cmam.hh"
 
 #include "cmam/send_path.hh"
+#include "net/lineage_hook.hh"
 #include "sim/log.hh"
 #include "sim/trace_session.hh"
 
@@ -292,6 +293,13 @@ Cmam::drainLoop(bool entry_decode)
         const auto tag = static_cast<HwTag>(
             (status >> ni_status::tagShift) & ni_status::tagMask);
 
+        // Lineage: the dispatch below is this packet's handler; any
+        // packet sent from inside it (replies, acks) inherits its
+        // lineage as causal parent.  Single pointer test when off.
+        LineageHooks *lh = LineageHooks::current();
+        if (lh)
+            lh->handlerBegin(node_.id(), *head, ni.sim().now());
+
         switch (tag) {
           case HwTag::UserAm:
           case HwTag::Control:
@@ -314,6 +322,8 @@ Cmam::drainLoop(bool entry_decode)
             msgsim_panic("unknown hardware tag ",
                          static_cast<int>(tag));
         }
+        if (lh)
+            lh->handlerEnd(node_.id(), ni.sim().now());
         ++handled;
         ++pollsHandled_;
         {

@@ -2,6 +2,7 @@
 
 #include "cmam/send_path.hh"
 #include "core/row.hh"
+#include "net/lineage_hook.hh"
 #include "sim/log.hh"
 #include "sim/trace_session.hh"
 
@@ -136,6 +137,10 @@ HlLayer::poll()
             msgsim_panic("recvReady set with empty FIFO");
         const auto tag = static_cast<HwTag>(
             (status >> ni_status::tagShift) & ni_status::tagMask);
+        // Lineage handler context, as in Cmam::drainLoop.
+        LineageHooks *lh = LineageHooks::current();
+        if (lh)
+            lh->handlerBegin(node_.id(), *head, ni.sim().now());
         switch (tag) {
           case HwTag::XferData:
             handleXferData();
@@ -147,6 +152,8 @@ HlLayer::poll()
             msgsim_panic("hl layer: unexpected tag ",
                          static_cast<int>(tag));
         }
+        if (lh)
+            lh->handlerEnd(node_.id(), ni.sim().now());
         ++handled;
         {
             RowScope r(a, CostRow::ControlFlow);

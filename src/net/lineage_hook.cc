@@ -1,0 +1,30 @@
+#include "net/lineage_hook.hh"
+
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+LineageHooks *LineageHooks::current_ = nullptr;
+
+LineageHooks::~LineageHooks()
+{
+    detach();
+}
+
+void
+LineageHooks::attach()
+{
+    if (current_ != nullptr && current_ != this)
+        msgsim_warn("replacing attached LineageHooks");
+    current_ = this;
+}
+
+void
+LineageHooks::detach()
+{
+    if (current_ == this)
+        current_ = nullptr;
+}
+
+} // namespace msgsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Packet-lineage instrumentation hooks.
+ *
+ * LineageHooks is the narrow, dependency-free interface the hardware
+ * and messaging layers consult to report packet lifecycle edges:
+ * birth (software stages a packet at the NI), hardware events
+ * (inject / deliver / reject / drop / corrupt / retry / duplicate),
+ * and handler dispatch (a polled packet entering messaging-layer
+ * software).  The concrete recorder lives in `src/prof`
+ * (prof::LineageSession); keeping only this abstract base in
+ * `src/net` lets the low layers stay free of any profiling
+ * dependency.
+ *
+ * Design rules (same as TraceSession): when no hooks are attached
+ * each site is a single pointer test, and no hook implementation may
+ * ever touch an Accounting object — lineage tracing can never
+ * perturb instruction counts.
+ */
+
+#ifndef MSGSIM_NET_LINEAGE_HOOK_HH
+#define MSGSIM_NET_LINEAGE_HOOK_HH
+
+#include "core/types.hh"
+#include "net/packet.hh"
+#include "net/tracer.hh"
+
+namespace msgsim
+{
+
+/**
+ * Process-wide packet-lifecycle observer.  All methods are invoked
+ * synchronously from the simulation thread; call sites pass their own
+ * clock so the recorder needs no clock binding of its own.
+ */
+class LineageHooks
+{
+  public:
+    virtual ~LineageHooks();
+
+    /** The attached hooks, or nullptr (the sites' fast path). */
+    static LineageHooks *current() { return current_; }
+
+    /**
+     * A packet was staged for sending (NetIface::writeSendCtl).  The
+     * implementation assigns @p pkt.lineage (and records parentage
+     * when the send happens inside a handler).
+     */
+    virtual void packetBorn(Packet &pkt, NodeId node, Tick now) = 0;
+
+    /** A hardware-level packet event (Network::trace's events). */
+    virtual void hwEvent(TraceEvent ev, const Packet &pkt,
+                         Tick now) = 0;
+
+    /**
+     * Messaging-layer software starts handling the head receive
+     * packet (CMAM / HL poll dispatch).  Until the matching
+     * handlerEnd, packets born on any node inherit @p pkt's lineage
+     * as their causal parent.
+     */
+    virtual void handlerBegin(NodeId node, const Packet &pkt,
+                              Tick now) = 0;
+
+    /** The dispatch that began with handlerBegin finished. */
+    virtual void handlerEnd(NodeId node, Tick now) = 0;
+
+  protected:
+    /** Make this instance the process-wide hook target. */
+    void attach();
+
+    /** Stop being the target (no-op if not attached). */
+    void detach();
+
+  private:
+    static LineageHooks *current_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_NET_LINEAGE_HOOK_HH

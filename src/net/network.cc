@@ -75,12 +75,13 @@ Network::presentToSink(Packet &&pkt)
         msgsim_panic("no sink attached for node ", pkt.dst);
     // Capture trace metadata before the sink may consume the packet.
     Packet meta;
-    if (tracer_) {
+    if (tracer_ || LineageHooks::current()) {
         meta.src = pkt.src;
         meta.dst = pkt.dst;
         meta.tag = pkt.tag;
         meta.header = pkt.header;
         meta.injectSeq = pkt.injectSeq;
+        meta.lineage = pkt.lineage;
     }
     const bool accepted = it->second(std::move(pkt));
     if (accepted) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/types.hh"
+#include "net/lineage_hook.hh"
 #include "net/packet.hh"
 #include "net/tracer.hh"
 #include "sim/event.hh"
@@ -155,12 +156,14 @@ class Network
     void gateDuplicate(const Packet &pkt);
 
   protected:
-    /** Record a packet event if a tracer is attached. */
+    /** Record a packet event if a tracer or lineage hooks are attached. */
     void
     trace(TraceEvent ev, const Packet &pkt)
     {
         if (tracer_)
             tracer_->record(sim_.now(), ev, pkt);
+        if (LineageHooks *lh = LineageHooks::current())
+            lh->hwEvent(ev, pkt, sim_.now());
     }
 
     /** Substrate-specific injection behaviour. */

@@ -65,6 +65,10 @@ struct Packet
     std::uint64_t injectSeq = 0;
     /// Per-(src,dst) flow index, assigned at injection.
     std::uint64_t flowIndex = 0;
+    /// Causal lineage id, assigned at birth when a prof::LineageSession
+    /// is attached (0 = untracked).  Purely observational: never read
+    /// by the hardware model or the messaging layers.
+    std::uint64_t lineage = 0;
 
     Packet() = default;
 

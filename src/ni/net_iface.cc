@@ -1,6 +1,7 @@
 #include "ni/net_iface.hh"
 
 #include "machine/memory.hh"
+#include "net/lineage_hook.hh"
 #include "sim/log.hh"
 #include "sim/metrics.hh"
 #include "sim/trace_session.hh"
@@ -35,6 +36,11 @@ NetIface::writeSendCtl(Accounting &acct, NodeId dst, HwTag tag,
     staged_->vnet = static_cast<std::uint8_t>(vnet);
     staged_->data.reserve(static_cast<std::size_t>(lenWords));
     stagedLen_ = lenWords;
+    // Packet birth: the lineage recorder stamps the id (and causal
+    // parentage when we are inside a handler).  One pointer test
+    // when off; never touches Accounting.
+    if (LineageHooks *lh = LineageHooks::current())
+        lh->packetBorn(*staged_, id_, net_.sim().now());
 }
 
 void

@@ -84,6 +84,9 @@ class NetIface
     NodeId id() const { return id_; }
     int dataWords() const { return cfg_.dataWords; }
 
+    /** The simulator driving the attached network (clock source). */
+    Simulator &sim() { return net_.sim(); }
+
     /** Install / clear the CR acceptance predicate. */
     void setAcceptFn(AcceptFn fn) { acceptFn_ = std::move(fn); }
 

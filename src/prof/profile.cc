@@ -1,0 +1,210 @@
+#include "prof/profile.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "hlam/hl_stack.hh"
+#include "prof/profiler.hh"
+#include "protocols/finite_xfer.hh"
+#include "protocols/single_packet.hh"
+#include "protocols/stream.hh"
+#include "sim/log.hh"
+#include "sim/trace_session.hh"
+
+namespace msgsim::prof
+{
+
+ProfRun
+runProfiled(const ProfConfig &cfg)
+{
+    if (cfg.protocol != "single" && cfg.protocol != "xfer" &&
+        cfg.protocol != "stream")
+        msgsim_fatal("unknown protocol '", cfg.protocol,
+                     "' (single | xfer | stream)");
+
+    // Fold spans and flows into the caller's timeline when one is
+    // attached; otherwise attach a private session for the run.
+    std::unique_ptr<TraceSession> privateSession;
+    TraceSession *ts = nullptr;
+    std::unique_ptr<LineageSession> lineage;
+    CostProfiler profiler(toString(cfg.substrate));
+    if (cfg.observe) {
+        ts = TraceSession::current();
+        if (ts == nullptr) {
+            privateSession = std::make_unique<TraceSession>();
+            privateSession->attach();
+            ts = privateSession.get();
+        }
+        lineage = std::make_unique<LineageSession>();
+        ts->setSpanObserver(&profiler);
+    }
+
+    ProfRun out;
+    // The CMAM layer runs both substrates; the high-level layer is
+    // the Section-4 counterpart for the multi-packet protocols.
+    const bool hlRun = cfg.substrate == Substrate::Cr &&
+                       cfg.protocol != "single";
+    if (hlRun) {
+        HlStackConfig sc;
+        sc.nodes = cfg.nodes;
+        sc.dataWords = cfg.dataWords;
+        HlStack stack(sc);
+        if (ts)
+            ts->bindClock(&stack.sim());
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            profiler.bindNode(n, &stack.node(n).proc().acct());
+        if (cfg.protocol == "xfer") {
+            HlXferParams p;
+            p.words = cfg.words;
+            out.result = runHlFinite(stack, p);
+        } else {
+            HlStreamParams p;
+            p.words = cfg.words;
+            out.result = runHlStream(stack, p);
+        }
+    } else {
+        StackConfig sc;
+        sc.substrate = cfg.substrate;
+        sc.nodes = cfg.nodes;
+        sc.dataWords = cfg.dataWords;
+        Stack stack(sc);
+        if (ts)
+            ts->bindClock(&stack.sim());
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            profiler.bindNode(n, &stack.node(n).proc().acct());
+        if (cfg.protocol == "single") {
+            out.result = runSinglePacket(stack, SinglePacketParams{});
+        } else if (cfg.protocol == "xfer") {
+            FiniteXfer fx(stack);
+            FiniteXferParams p;
+            p.words = cfg.words;
+            out.result = fx.run(p);
+        } else {
+            StreamProtocol sp(stack);
+            StreamParams p;
+            p.words = cfg.words;
+            p.groupAck = cfg.groupAck;
+            out.result = sp.run(p);
+        }
+    }
+
+    // The stacks above are gone: unbind the clock before anything
+    // (e.g. an obs::Scope export) asks the session for "now".
+    if (ts) {
+        ts->setSpanObserver(nullptr);
+        ts->bindClock(nullptr);
+        lineage->exportTo(*ts);
+        out.folded = profiler.foldedStacks();
+        out.waterfall = lineage->waterfall();
+        out.packetsTracked = lineage->packetsTracked();
+        out.lineageEdges = lineage->edges().size();
+    }
+    return out;
+}
+
+Differential
+differential(const ProfConfig &primaryCfg, const ProfRun &primary,
+             const ProfConfig &baselineCfg, const ProfRun &baseline)
+{
+    Differential d;
+    d.primaryCfg = primaryCfg;
+    d.baselineCfg = baselineCfg;
+    d.primaryTotal = primary.result.counts.paperTotal();
+    d.baselineTotal = baseline.result.counts.paperTotal();
+
+    static const Feature feats[] = {
+        Feature::BaseCost,
+        Feature::BufferMgmt,
+        Feature::InOrderDelivery,
+        Feature::FaultTolerance,
+    };
+    for (Feature feat : feats) {
+        DiffRow row;
+        row.feature = feat;
+        row.primary = primary.result.counts.featureTotal(feat);
+        row.baseline = baseline.result.counts.featureTotal(feat);
+        if (row.primary == 0 && row.baseline == 0)
+            row.status = "unchanged";
+        else if (row.baseline * 10 <= row.primary)
+            row.status = "vanishes";
+        else if ((row.baseline > row.primary
+                      ? row.baseline - row.primary
+                      : row.primary - row.baseline) *
+                     10 <=
+                 row.primary)
+            row.status = "unchanged";
+        else
+            row.status =
+                row.baseline < row.primary ? "reduced" : "increased";
+        d.rows.push_back(std::move(row));
+    }
+    return d;
+}
+
+std::string
+Differential::markdown() const
+{
+    auto col = [](const ProfConfig &cfg) {
+        return std::string(toString(cfg.substrate)) + "/" +
+               cfg.protocol;
+    };
+    std::string out;
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "| feature | %s | %s | delta | status |\n",
+                  col(primaryCfg).c_str(), col(baselineCfg).c_str());
+    out += line;
+    out += "|---|---:|---:|---:|---|\n";
+    for (const DiffRow &row : rows) {
+        const long long delta =
+            static_cast<long long>(row.baseline) -
+            static_cast<long long>(row.primary);
+        std::snprintf(line, sizeof(line),
+                      "| %s | %llu | %llu | %+lld | %s |\n",
+                      toString(row.feature),
+                      static_cast<unsigned long long>(row.primary),
+                      static_cast<unsigned long long>(row.baseline),
+                      delta, row.status.c_str());
+        out += line;
+    }
+    const long long tdelta = static_cast<long long>(baselineTotal) -
+                             static_cast<long long>(primaryTotal);
+    std::snprintf(line, sizeof(line),
+                  "| **total** | **%llu** | **%llu** | %+lld | |\n",
+                  static_cast<unsigned long long>(primaryTotal),
+                  static_cast<unsigned long long>(baselineTotal),
+                  tdelta);
+    out += line;
+    return out;
+}
+
+Json
+Differential::toJson() const
+{
+    auto side = [](const ProfConfig &cfg, std::uint64_t total) {
+        Json j = Json::object();
+        j.set("protocol", cfg.protocol);
+        j.set("substrate", toString(cfg.substrate));
+        j.set("nodes", std::uint64_t(cfg.nodes));
+        j.set("data_words", cfg.dataWords);
+        j.set("words", std::uint64_t(cfg.words));
+        j.set("paper_total", total);
+        return j;
+    };
+    Json doc = Json::object();
+    doc.set("primary", side(primaryCfg, primaryTotal));
+    doc.set("baseline", side(baselineCfg, baselineTotal));
+    Json features = Json::array();
+    for (const DiffRow &row : rows) {
+        Json j = Json::object();
+        j.set("feature", featureSlug(row.feature));
+        j.set("primary", row.primary);
+        j.set("baseline", row.baseline);
+        j.set("status", row.status);
+        features.push(std::move(j));
+    }
+    doc.set("features", std::move(features));
+    return doc;
+}
+
+} // namespace msgsim::prof

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Profiled protocol runs and the differential cost report.
+ *
+ * runProfiled() executes one protocol exchange (single / xfer /
+ * stream) on one substrate with the full observability kit attached:
+ * a LineageSession stamping causal lineage onto every packet, and a
+ * CostProfiler folding span-resolved instruction deltas into
+ * flamegraph stacks.  The lineage flows are exported into the
+ * attached TraceSession when one exists (--trace-out), so the
+ * Perfetto timeline gains send → deliver → handler arrows.
+ *
+ * differential() diffs two such runs per messaging feature — the
+ * paper's headline experiment: run the same transfer on the CM-5
+ * substrate (CMAM pays for buffering, ordering and fault tolerance
+ * in software) and on the CR substrate (the hardware provides them),
+ * and watch three of the four feature rows vanish while the base
+ * cost stays put (Sections 3-4, Tables 2/3).
+ */
+
+#ifndef MSGSIM_PROF_PROFILE_HH
+#define MSGSIM_PROF_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "prof/lineage.hh"
+#include "protocols/result.hh"
+#include "protocols/stack.hh"
+
+namespace msgsim::prof
+{
+
+/** What to run and where. */
+struct ProfConfig
+{
+    std::string protocol = "xfer"; ///< single | xfer | stream
+    Substrate substrate = Substrate::Cm5;
+    std::uint32_t nodes = 4;
+    int dataWords = 4;
+    std::uint32_t words = 64; ///< transfer volume (xfer / stream)
+    int groupAck = 1;         ///< stream: ack every G packets
+    /// Attach the lineage/profiling sessions (process-global state).
+    /// The lab runs grid points concurrently and therefore profiles
+    /// with observe = false: instruction counts are bit-identical
+    /// either way (the PR 1 design rule), so the differential table
+    /// is unaffected — only folded/waterfall artifacts are skipped.
+    bool observe = true;
+};
+
+/** One profiled run: protocol result plus the derived artifacts. */
+struct ProfRun
+{
+    RunResult result;
+    std::string folded; ///< flamegraph folded-stack text
+    WaterfallReport waterfall;
+    std::uint64_t packetsTracked = 0;
+    std::uint64_t lineageEdges = 0;
+};
+
+/**
+ * Run @p cfg's protocol with lineage + profiling attached.  Uses the
+ * attached TraceSession when one exists (so spans and flows land in
+ * the --trace-out timeline); otherwise attaches a private session
+ * for the duration so span costs still fold.
+ */
+ProfRun runProfiled(const ProfConfig &cfg);
+
+/** One feature row of the differential table. */
+struct DiffRow
+{
+    Feature feature = Feature::BaseCost;
+    std::uint64_t primary = 0;  ///< instructions, primary run
+    std::uint64_t baseline = 0; ///< instructions, baseline run
+    /// vanishes | unchanged | reduced | increased
+    std::string status;
+};
+
+/** The paper's "overhead that vanishes" comparison. */
+struct Differential
+{
+    ProfConfig primaryCfg;
+    ProfConfig baselineCfg;
+    std::vector<DiffRow> rows; ///< the four paper features
+    std::uint64_t primaryTotal = 0;
+    std::uint64_t baselineTotal = 0;
+
+    /** Render as a markdown table. */
+    std::string markdown() const;
+
+    /** Machine-readable form (no wall-clock: byte-deterministic). */
+    Json toJson() const;
+};
+
+/**
+ * Diff two runs per feature.  Status thresholds: "vanishes" when the
+ * baseline keeps at most 10% of the primary's instructions,
+ * "unchanged" within +/-10%, otherwise "reduced" / "increased".
+ */
+Differential differential(const ProfConfig &primaryCfg,
+                          const ProfRun &primary,
+                          const ProfConfig &baselineCfg,
+                          const ProfRun &baseline);
+
+} // namespace msgsim::prof
+
+#endif // MSGSIM_PROF_PROFILE_HH

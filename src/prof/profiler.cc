@@ -1,0 +1,104 @@
+#include "prof/profiler.hh"
+
+#include "core/accounting.hh"
+
+namespace msgsim::prof
+{
+
+const char *
+featureSlug(Feature feat)
+{
+    switch (feat) {
+      case Feature::BaseCost:        return "base_cost";
+      case Feature::BufferMgmt:      return "buffer_mgmt";
+      case Feature::InOrderDelivery: return "in_order";
+      case Feature::FaultTolerance:  return "fault_tol";
+      case Feature::Idle:            return "idle";
+      default:                       return "?";
+    }
+}
+
+CostProfiler::CostProfiler(std::string prefix)
+    : prefix_(std::move(prefix))
+{
+}
+
+void
+CostProfiler::bindNode(NodeId node, const Accounting *acct)
+{
+    accts_[node] = acct;
+}
+
+void
+CostProfiler::onBeginSpan(NodeId node, const char *cat,
+                          const char *name)
+{
+    auto it = accts_.find(node);
+    if (it == accts_.end() || it->second == nullptr) {
+        ++unboundSpans_;
+        return;
+    }
+    auto &stack = frames_[node];
+    Frame f;
+    if (stack.empty()) {
+        f.path = prefix_.empty() ? std::string() : prefix_ + ";";
+        f.path += "node" + std::to_string(node);
+    } else {
+        f.path = stack.back().path;
+    }
+    f.path += ";";
+    f.path += cat;
+    f.path += "/";
+    f.path += name;
+    f.snapshot = it->second->counter();
+    stack.push_back(std::move(f));
+}
+
+void
+CostProfiler::onEndSpan(NodeId node, const char *cat,
+                        const char *name)
+{
+    (void)cat;
+    (void)name;
+    auto ait = accts_.find(node);
+    auto fit = frames_.find(node);
+    if (ait == accts_.end() || fit == frames_.end() ||
+        fit->second.empty())
+        return; // span opened before this node was bound
+    auto &stack = fit->second;
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+
+    const InstrCounter delta = ait->second->counter().diff(f.snapshot);
+    stacks_[f.path] += delta.diff(f.childSum);
+    if (!stack.empty())
+        stack.back().childSum += delta;
+}
+
+std::string
+CostProfiler::foldedStacks() const
+{
+    std::string out;
+    for (const auto &[path, counter] : stacks_) {
+        for (int fi = 0; fi < numFeatures; ++fi) {
+            const auto feat = static_cast<Feature>(fi);
+            for (int ci = 0; ci < numCategories; ++ci) {
+                const auto cat = static_cast<Category>(ci);
+                const std::uint64_t n = counter.category(feat, cat);
+                if (n == 0)
+                    continue;
+                out += path;
+                out += ";";
+                out += featureSlug(feat);
+                out += ";";
+                out += toString(cat);
+                out += " ";
+                out += std::to_string(n);
+                out += "\n";
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace msgsim::prof

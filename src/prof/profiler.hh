@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Span-resolved cost attribution.
+ *
+ * A CostProfiler observes TraceSession span open/close events and,
+ * at each boundary, snapshots the node's Accounting counter.  The
+ * instruction delta of a span minus the deltas of its children is
+ * the span's *self* cost, folded into a stack keyed by the full span
+ * path — exactly the folded-stack text format flamegraph.pl and
+ * speedscope consume, except the leaf is a (feature, category) pair
+ * so a flamegraph shows *where* the paper's buffer-management /
+ * in-order / fault-tolerance instructions are spent, not just how
+ * many there are.
+ *
+ * The profiler is a pure reader: it never charges an Accounting
+ * object, so instruction counts are bit-identical with profiling on
+ * or off.
+ */
+
+#ifndef MSGSIM_PROF_PROFILER_HH
+#define MSGSIM_PROF_PROFILER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/counter.hh"
+#include "core/json.hh"
+#include "core/types.hh"
+#include "sim/trace_session.hh"
+
+namespace msgsim
+{
+
+class Accounting;
+
+namespace prof
+{
+
+/**
+ * Space-free feature name for folded stacks and JSON keys (the
+ * display names in core/op.cc carry spaces, which the flamegraph
+ * folded format reserves for the count separator).
+ */
+const char *featureSlug(Feature feat);
+
+/**
+ * Folds per-span Accounting deltas into feature x category stacks.
+ * Bind it to a TraceSession with setSpanObserver(); spans on nodes
+ * that were not bindNode()d are ignored.
+ */
+class CostProfiler : public TraceSession::SpanObserver
+{
+  public:
+    /// @p prefix becomes the first folded-stack frame (typically the
+    /// substrate name, so two runs diff cleanly side by side).
+    explicit CostProfiler(std::string prefix = "");
+
+    /** Associate @p node's spans with @p acct's counter. */
+    void bindNode(NodeId node, const Accounting *acct);
+
+    // TraceSession::SpanObserver implementation.
+    void onBeginSpan(NodeId node, const char *cat,
+                     const char *name) override;
+    void onEndSpan(NodeId node, const char *cat,
+                   const char *name) override;
+
+    /** Self-cost counters keyed by full span path (deterministic). */
+    const std::map<std::string, InstrCounter> &
+    stacks() const
+    {
+        return stacks_;
+    }
+
+    /**
+     * Folded-stack text: one line per
+     * `prefix;nodeN;cat/name;...;Feature;category count`, only
+     * non-zero cells, sorted by path.
+     */
+    std::string foldedStacks() const;
+
+    /** Spans discarded because their node had no bound counter. */
+    std::uint64_t unboundSpans() const { return unboundSpans_; }
+
+  private:
+    struct Frame
+    {
+        std::string path;
+        InstrCounter snapshot; ///< counter at span open
+        InstrCounter childSum; ///< sum of completed child deltas
+    };
+
+    std::string prefix_;
+    std::map<NodeId, const Accounting *> accts_;
+    std::map<NodeId, std::vector<Frame>> frames_;
+    std::map<std::string, InstrCounter> stacks_;
+    std::uint64_t unboundSpans_ = 0;
+};
+
+} // namespace prof
+} // namespace msgsim
+
+#endif // MSGSIM_PROF_PROFILER_HH

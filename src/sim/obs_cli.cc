@@ -46,6 +46,10 @@ Scope::~Scope()
             reg.counter("trace.span." + key) = count;
         reg.counter("trace.records_observed") = session_->observed();
         reg.counter("trace.records_dropped") = session_->dropped();
+        // Ring-eviction visibility: with dropped > 0 the timeline is
+        // truncated, and everything before this tick may be missing.
+        reg.gauge("trace.oldest_retained_tick") =
+            static_cast<double>(session_->oldestRetainedTick());
 
         if (session_->writeChromeTrace(opts_.traceOut))
             msgsim_inform("trace written to ", opts_.traceOut);

@@ -68,6 +68,8 @@ TraceSession::beginSpan(NodeId node, const char *cat, const char *name)
 {
     open_[node].push_back(OpenSpan{now(), cat, name});
     ++spanCounts_[std::string(cat) + "/" + name];
+    if (spanObserver_)
+        spanObserver_->onBeginSpan(node, cat, name);
 }
 
 void
@@ -89,6 +91,8 @@ TraceSession::endSpan(NodeId node)
     rec.cat = span.cat;
     rec.name = span.name;
     push(rec);
+    if (spanObserver_)
+        spanObserver_->onEndSpan(node, span.cat, span.name);
 }
 
 void
@@ -125,6 +129,31 @@ TraceSession::counterSample(NodeId node, const char *name, double value)
     rec.name = name;
     rec.value = value;
     push(rec);
+}
+
+void
+TraceSession::flowAt(Tick when, NodeId node, const char *cat,
+                     const char *name, std::uint64_t id,
+                     FlowPhase phase)
+{
+    Record rec;
+    rec.kind = Kind::Flow;
+    rec.start = when;
+    rec.end = when;
+    rec.node = node;
+    rec.cat = cat;
+    rec.name = name;
+    rec.flowId = id;
+    rec.flowPhase = phase;
+    push(rec);
+}
+
+Tick
+TraceSession::oldestRetainedTick() const
+{
+    if (ring_.empty())
+        return 0;
+    return wrapped_ ? ring_[head_].start : ring_.front().start;
 }
 
 std::size_t
@@ -269,6 +298,21 @@ TraceSession::chromeTraceJson()
                << ",\"pid\":0,\"tid\":" << tid
                << ",\"args\":{\"value\":" << jsonNumber(rec.value)
                << "}}";
+            break;
+          }
+          case Kind::Flow: {
+            const char *ph =
+                rec.flowPhase == FlowPhase::Start ? "s"
+                : rec.flowPhase == FlowPhase::Step ? "t"
+                                                   : "f";
+            os << "{\"name\":\"" << jsonEscape(rec.name)
+               << "\",\"cat\":\"" << jsonEscape(rec.cat)
+               << "\",\"ph\":\"" << ph << "\",\"ts\":" << rec.start
+               << ",\"pid\":0,\"tid\":" << tid
+               << ",\"id\":" << rec.flowId;
+            if (rec.flowPhase == FlowPhase::End)
+                os << ",\"bp\":\"e\"";
+            os << "}";
             break;
           }
         }

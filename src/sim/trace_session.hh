@@ -52,6 +52,15 @@ class TraceSession
         Span,    ///< a completed begin/end region on one node
         Instant, ///< a point event on one node
         Counter, ///< a sampled numeric value
+        Flow,    ///< a flow-arrow point (Chrome "s"/"t"/"f" phases)
+    };
+
+    /** Position of a Flow record within its arrow chain. */
+    enum class FlowPhase : std::uint8_t
+    {
+        Start, ///< ph:"s" — first point of the chain
+        Step,  ///< ph:"t" — intermediate point
+        End,   ///< ph:"f" — last point (binding point "e")
     };
 
     /** One retained timeline record. */
@@ -64,6 +73,25 @@ class TraceSession
         const char *cat = ""; ///< category (protocol / layer name)
         const char *name = ""; ///< phase / event / counter name
         double value = 0.0;    ///< instant arg or counter sample
+        std::uint64_t flowId = 0; ///< flow-arrow chain id (Flow only)
+        FlowPhase flowPhase = FlowPhase::Start; ///< Flow only
+    };
+
+    /**
+     * Observer of span open/close, for cost profilers that snapshot
+     * external state around spans.  Fires synchronously from
+     * beginSpan/endSpan; implementations must not touch Accounting
+     * charge paths (reads are fine) and must not re-enter the
+     * session.
+     */
+    class SpanObserver
+    {
+      public:
+        virtual ~SpanObserver() = default;
+        virtual void onBeginSpan(NodeId node, const char *cat,
+                                 const char *name) = 0;
+        virtual void onEndSpan(NodeId node, const char *cat,
+                               const char *name) = 0;
     };
 
     TraceSession();
@@ -128,6 +156,19 @@ class TraceSession
         counterSample(invalidNode, name, value);
     }
 
+    /**
+     * Record one point of a flow arrow (Chrome flow events): all
+     * points sharing @p id form one chain; Perfetto draws arrows
+     * between consecutive points across node tracks.  Emitted with an
+     * explicit timestamp because flows are typically derived at
+     * export time from earlier lifecycle edges.
+     */
+    void flowAt(Tick when, NodeId node, const char *cat,
+                const char *name, std::uint64_t id, FlowPhase phase);
+
+    /** Install / clear (nullptr) the span observer. */
+    void setSpanObserver(SpanObserver *obs) { spanObserver_ = obs; }
+
     // ------------------------------------------------------------
     // Inspection.
     // ------------------------------------------------------------
@@ -137,6 +178,13 @@ class TraceSession
 
     /** Records evicted from the ring. */
     std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Begin tick of the oldest record still retained (0 with an
+     * empty ring).  Together with dropped(), this makes a truncated
+     * trace detectable: everything before this tick may be missing.
+     */
+    Tick oldestRetainedTick() const;
 
     /** Spans currently open across all nodes. */
     std::size_t openSpans() const;
@@ -194,6 +242,8 @@ class TraceSession
 
     std::map<NodeId, std::vector<OpenSpan>> open_;
     std::map<std::string, std::uint64_t> spanCounts_;
+
+    SpanObserver *spanObserver_ = nullptr;
 };
 
 /**

@@ -1,0 +1,31 @@
+# ctest golden gate for the msgsim-prof differential report: the
+# CLI's --json-out for the paper's headline CM-5-vs-CR comparison
+# must be byte-identical to the committed golden.
+#
+# Variables (passed with -D):
+#   PROF_BIN   path to the msgsim-prof executable
+#   GOLDEN     committed golden JSON
+#   WORK_DIR   scratch directory for the fresh report
+
+set(fresh "${WORK_DIR}/prof_differential.json")
+
+execute_process(
+    COMMAND "${PROF_BIN}"
+        --protocol=xfer --substrate=cm5 --baseline=cr
+        "--json-out=${fresh}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "msgsim-prof exited with status ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${fresh}" "${GOLDEN}"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    execute_process(COMMAND diff -u "${GOLDEN}" "${fresh}")
+    message(FATAL_ERROR
+        "differential report drifted from ${GOLDEN}; regenerate with "
+        "msgsim-prof --protocol=xfer --substrate=cm5 --baseline=cr "
+        "--json-out=tests/golden/prof_differential.json")
+endif()

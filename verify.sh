@@ -14,6 +14,11 @@
 #                                in a separate build tree and run them
 #   ./verify.sh --check          only the model-checker gate, against
 #                                an already-built build/ tree
+#   ./verify.sh --prof           only the profiler gate, against an
+#                                already-built build/ tree: msgsim-prof
+#                                on both substrates, the differential
+#                                table against its committed golden,
+#                                and a BENCH_throughput.json refresh
 set -euo pipefail
 
 repo_dir="$(cd "$(dirname "$0")" && pwd)"
@@ -111,9 +116,50 @@ check_model_checker() {
     echo "check ok: exhaustive exploration clean, deterministic, bug caught + replayed"
 }
 
+check_prof() {
+    local prof="$repo_dir/build/src/prof/msgsim-prof"
+    local lab="$repo_dir/build/src/lab/msgsim-lab"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    # A profiled run on each substrate produces the full artifact
+    # set: folded stacks, waterfall, trace with lineage flows.
+    local sub
+    for sub in cm5 cr; do
+        "$prof" --protocol=xfer --substrate="$sub" \
+            --flame-out="$tmpdir/$sub.folded" \
+            --waterfall-out="$tmpdir/$sub.waterfall" \
+            --trace-out="$tmpdir/$sub.trace.json" > /dev/null
+        grep -q ';base_cost;' "$tmpdir/$sub.folded"
+        grep -q 'send_sw' "$tmpdir/$sub.waterfall"
+        grep -q '"ph":"s"' "$tmpdir/$sub.trace.json"
+        grep -q '"bp":"e"' "$tmpdir/$sub.trace.json"
+    done
+
+    # The differential table must match the committed golden (the
+    # same pattern as the --check gate's pinned counterexamples).
+    "$prof" --protocol=xfer --substrate=cm5 --baseline=cr \
+        --json-out="$tmpdir/diff.json" > /dev/null
+    cmp "$tmpdir/diff.json" \
+        "$repo_dir/tests/golden/prof_differential.json"
+
+    # Refresh the perf trajectory: P1 now times the profiled
+    # comparison as its fourth wall-clock point.
+    (cd "$repo_dir" && "$lab" --bench-out=BENCH_throughput.json \
+        --quiet P1 > /dev/null)
+    echo "prof ok: artifacts produced, differential matches golden"
+}
+
 if [[ "${1:-}" == "--check" ]]; then
     check_model_checker
     echo "verify --check: OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--prof" ]]; then
+    check_prof
+    echo "verify --prof: OK"
     exit 0
 fi
 
@@ -141,4 +187,5 @@ cmake --build build -j"$(nproc)"
 check_traced_run "$repo_dir/build/examples/bulk_transfer"
 check_lab
 check_model_checker
+check_prof
 echo "verify: OK"
