@@ -1,5 +1,6 @@
 #include "cm5net/cm5_network.hh"
 
+#include "hostprof/hostprof.hh"
 #include "sim/log.hh"
 
 namespace msgsim
@@ -57,6 +58,7 @@ Cm5Network::injectImpl(Packet &&pkt)
 void
 Cm5Network::routeToEdge(Packet &&pkt)
 {
+    hostprof::HostScope hs(hostprof::Site::Cm5Route);
     Tick latency = cfg_.baseLatency +
                    cfg_.hopLatency * tree_.hops(pkt.src, pkt.dst);
     if (cfg_.maxJitter > 0)
@@ -91,6 +93,7 @@ Cm5Network::routeToEdge(Packet &&pkt)
 void
 Cm5Network::arriveAtEdge(Packet &&pkt)
 {
+    hostprof::HostScope hs(hostprof::Site::Cm5Deliver);
     auto &policy =
         policyFor({pkt.src, pkt.dst, static_cast<int>(pkt.vnet)});
     std::vector<Packet> release;
@@ -102,6 +105,9 @@ Cm5Network::arriveAtEdge(Packet &&pkt)
 void
 Cm5Network::tryDeliver(Packet &&pkt)
 {
+    // Retry closures re-enter here outside arriveAtEdge, so the
+    // delivery scope opens here too (same-site nesting is fine).
+    hostprof::HostScope hs(hostprof::Site::Cm5Deliver);
     if (presentToSink(std::move(pkt)))
         return;
     // Sink full: the packet occupies network buffers and is offered

@@ -1,6 +1,7 @@
 #include "cmam/cmam.hh"
 
 #include "cmam/send_path.hh"
+#include "hostprof/hostprof.hh"
 #include "net/lineage_hook.hh"
 #include "sim/log.hh"
 #include "sim/trace_session.hh"
@@ -93,6 +94,7 @@ Cmam::xferSend(NodeId dst, Word segId, Addr srcBuf, std::uint32_t words)
     NetIface &ni = node_.ni();
     const int n = dataWords();
     ScopedSpan span(node_.id(), "cmam", "xfer_send");
+    hostprof::HostScope hps(hostprof::Site::CmamSend);
 
     chargeSyscall();
     if (words == 0 || words % static_cast<std::uint32_t>(n) != 0)
@@ -171,6 +173,7 @@ Cmam::xferSendDma(NodeId dst, Word segId, Addr srcBuf,
     NetIface &ni = node_.ni();
     const int n = dataWords();
     ScopedSpan span(node_.id(), "cmam", "xfer_send_dma");
+    hostprof::HostScope hps(hostprof::Site::CmamSend);
 
     chargeSyscall();
     if (words == 0 || words % static_cast<std::uint32_t>(n) != 0)
@@ -232,6 +235,7 @@ Cmam::poll()
     Processor &p = node_.proc();
     Accounting &a = p.acct();
     ScopedSpan span(node_.id(), "cmam", "poll");
+    hostprof::HostScope hps(hostprof::Site::CmamPoll);
 
     chargeSyscall();
     // CMAM_request_poll linkage: call, save, ret.
@@ -248,6 +252,7 @@ Cmam::interruptService()
     Processor &p = node_.proc();
     Accounting &a = p.acct();
     ScopedSpan span(node_.id(), "cmam", "interrupt");
+    hostprof::HostScope hps(hostprof::Site::CmamPoll);
 
     // Trap entry/exit: register-window spill and fill, PSR/PC save
     // and restore, trap-table vectoring — plus the interrupt
@@ -300,6 +305,7 @@ Cmam::drainLoop(bool entry_decode)
         if (lh)
             lh->handlerBegin(node_.id(), *head, ni.sim().now());
 
+        hostprof::HostScope hdl(hostprof::Site::CmamHandler);
         switch (tag) {
           case HwTag::UserAm:
           case HwTag::Control:

@@ -1,5 +1,7 @@
 #include "cmam/send_path.hh"
 
+#include "hostprof/hostprof.hh"
+
 #include "core/row.hh"
 #include "sim/log.hh"
 #include "sim/trace_session.hh"
@@ -17,6 +19,7 @@ singlePacketSend(Node &node, Addr niBaseAddr, HwTag tag, NodeId dst,
     NetIface &ni = node.ni();
     const int n = lenWords;
     ScopedSpan span(node.id(), "cmam", "send_packet");
+    hostprof::HostScope hps(hostprof::Site::CmamSend);
 
     if (n > ni.dataWords())
         msgsim_fatal("packet length ", n, " exceeds hardware packet "

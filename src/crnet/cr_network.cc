@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "hostprof/hostprof.hh"
 #include "sim/log.hh"
 
 namespace msgsim
@@ -16,6 +17,7 @@ CrNetwork::CrNetwork(Simulator &sim, const Config &cfg)
 bool
 CrNetwork::injectImpl(Packet &&pkt)
 {
+    hostprof::HostScope hs(hostprof::Site::CrRoute);
     Tick latency = cfg_.baseLatency +
                    cfg_.hopLatency * tree_.hops(pkt.src, pkt.dst);
 
@@ -66,6 +68,7 @@ CrNetwork::injectImpl(Packet &&pkt)
 void
 CrNetwork::arrive(FlowKey flow, Packet &&pkt)
 {
+    hostprof::HostScope hs(hostprof::Site::CrDeliver);
     flows_[flow].queue.push_back(std::move(pkt));
     drain(flow);
 }
@@ -73,6 +76,8 @@ CrNetwork::arrive(FlowKey flow, Packet &&pkt)
 void
 CrNetwork::drain(FlowKey flow)
 {
+    // Reject-retry closures re-enter here outside arrive().
+    hostprof::HostScope hs(hostprof::Site::CrDeliver);
     auto &state = flows_[flow];
     state.drainScheduled = false;
     while (!state.queue.empty()) {

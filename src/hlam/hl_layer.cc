@@ -2,6 +2,7 @@
 
 #include "cmam/send_path.hh"
 #include "core/row.hh"
+#include "hostprof/hostprof.hh"
 #include "net/lineage_hook.hh"
 #include "sim/log.hh"
 #include "sim/trace_session.hh"
@@ -40,6 +41,7 @@ HlLayer::xferSend(NodeId dst, Word tid, Addr srcBuf, std::uint32_t words)
     NetIface &ni = node_.ni();
     const int n = dataWords();
     ScopedSpan span(node_.id(), "hl", "xfer_send");
+    hostprof::HostScope hps(hostprof::Site::HlSend);
 
     if (words == 0 || words % static_cast<std::uint32_t>(n) != 0)
         msgsim_fatal("hl xfer of ", words,
@@ -104,6 +106,7 @@ void
 HlLayer::streamSend(NodeId dst, Word chan, const std::vector<Word> &data)
 {
     ScopedSpan span(node_.id(), "hl", "stream_send");
+    hostprof::HostScope hps(hostprof::Site::HlSend);
     singlePacketSend(node_, niBaseAddr_, HwTag::StreamData, dst,
                      hdr::pack(chan, 0), data, dataWords());
 }
@@ -115,6 +118,7 @@ HlLayer::poll()
     Accounting &a = p.acct();
     NetIface &ni = node_.ni();
     ScopedSpan span(node_.id(), "hl", "poll");
+    hostprof::HostScope hps(hostprof::Site::HlPoll);
 
     {
         RowScope r(a, CostRow::CallReturn);

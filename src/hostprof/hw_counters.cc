@@ -1,0 +1,196 @@
+#include "hostprof/hw_counters.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "sim/metrics.hh"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define MSGSIM_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define MSGSIM_HAVE_PERF_EVENT 0
+#endif
+
+namespace msgsim::hostprof
+{
+
+#if MSGSIM_HAVE_PERF_EVENT
+
+namespace
+{
+
+constexpr std::uint64_t kConfigs[3] = {
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int
+openCounter(std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0,
+                                    -1, -1, 0));
+}
+
+std::string
+errnoReason(int err)
+{
+    switch (err) {
+      case EPERM:
+      case EACCES:
+        return "EPERM (perf_event_paranoid or container policy "
+               "denies perf access)";
+      case ENOENT:
+        return "ENOENT (event not supported by this PMU)";
+      case ENOSYS:
+        return "ENOSYS (perf_event_open not implemented)";
+      case ENODEV:
+        return "ENODEV (no PMU device)";
+      default:
+        return std::string("errno ") + std::to_string(err) + " (" +
+               std::strerror(err) + ")";
+    }
+}
+
+} // namespace
+
+bool
+HwCounters::probe(std::string *reason)
+{
+    errno = 0;
+    const int fd = openCounter(PERF_COUNT_HW_INSTRUCTIONS);
+    if (fd < 0) {
+        if (reason != nullptr)
+            *reason = errnoReason(errno);
+        return false;
+    }
+    close(fd);
+    if (reason != nullptr)
+        *reason = "ok";
+    return true;
+}
+
+bool
+HwCounters::start()
+{
+    closeAll();
+    for (int i = 0; i < kNumEvents; ++i) {
+        errno = 0;
+        fds_[i] = openCounter(kConfigs[i]);
+        if (fds_[i] < 0) {
+            reason_ = errnoReason(errno);
+            closeAll();
+            return false;
+        }
+    }
+    for (int i = 0; i < kNumEvents; ++i) {
+        ioctl(fds_[i], PERF_EVENT_IOC_RESET, 0);
+        ioctl(fds_[i], PERF_EVENT_IOC_ENABLE, 0);
+    }
+    running_ = true;
+    reason_ = "ok";
+    return true;
+}
+
+void
+HwCounters::stop()
+{
+    if (!running_)
+        return;
+    for (int i = 0; i < kNumEvents; ++i)
+        if (fds_[i] >= 0)
+            ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+}
+
+HwSample
+HwCounters::sample() const
+{
+    HwSample s;
+    if (fds_[0] < 0)
+        return s;
+    std::uint64_t values[kNumEvents] = {0, 0, 0};
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (read(fds_[i], &values[i], sizeof(values[i])) !=
+            static_cast<ssize_t>(sizeof(values[i])))
+            return s; // short read: report unavailable
+    }
+    s.ok = true;
+    s.instructions = values[0];
+    s.cacheMisses = values[1];
+    s.branchMisses = values[2];
+    return s;
+}
+
+void
+HwCounters::closeAll()
+{
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (fds_[i] >= 0)
+            close(fds_[i]);
+        fds_[i] = -1;
+    }
+    running_ = false;
+}
+
+HwCounters::~HwCounters()
+{
+    closeAll();
+}
+
+#else // !MSGSIM_HAVE_PERF_EVENT
+
+bool
+HwCounters::probe(std::string *reason)
+{
+    if (reason != nullptr)
+        *reason = "perf_event_open unavailable on this platform";
+    return false;
+}
+
+bool
+HwCounters::start()
+{
+    reason_ = "perf_event_open unavailable on this platform";
+    return false;
+}
+
+void
+HwCounters::stop()
+{
+}
+
+HwSample
+HwCounters::sample() const
+{
+    return HwSample{};
+}
+
+void
+HwCounters::closeAll()
+{
+}
+
+HwCounters::~HwCounters() = default;
+
+#endif // MSGSIM_HAVE_PERF_EVENT
+
+void
+publishHwAvailability(MetricsRegistry &reg, const std::string &prefix)
+{
+    reg.gauge(prefix + ".counters_available") =
+        HwCounters::probe() ? 1.0 : 0.0;
+}
+
+} // namespace msgsim::hostprof

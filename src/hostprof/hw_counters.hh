@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Optional hardware counters for the host self-profiler, layered on
+ * perf_event_open: instructions retired, cache misses, branch misses
+ * over a profiled window.
+ *
+ * Containers routinely deny perf access (EPERM / EACCES via
+ * perf_event_paranoid, or ENOENT / ENOSYS when the syscall or PMU is
+ * absent), so everything degrades gracefully: probe() reports
+ * availability with an errno-derived reason, start() simply returns
+ * false, and the profiler's TSC timing is unaffected either way.  The
+ * CLI publishes the probe result as the `hostprof.counters_available`
+ * metric.
+ */
+
+#ifndef MSGSIM_HOSTPROF_HW_COUNTERS_HH
+#define MSGSIM_HOSTPROF_HW_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace msgsim
+{
+
+class MetricsRegistry;
+
+namespace hostprof
+{
+
+/** A window of hardware-counter readings (valid only when ok). */
+struct HwSample
+{
+    bool ok = false;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branchMisses = 0;
+};
+
+/**
+ * Three calling-thread hardware counters over a start()/stop()
+ * window.  Unavailable counters make start() return false and
+ * sample() return {ok = false}; nothing crashes.
+ */
+class HwCounters
+{
+  public:
+    HwCounters() = default;
+    ~HwCounters();
+
+    HwCounters(const HwCounters &) = delete;
+    HwCounters &operator=(const HwCounters &) = delete;
+
+    /**
+     * One-shot capability probe: can this process open a hardware
+     * instruction counter?  Fills @p reason with "ok" or an
+     * errno-derived explanation ("EPERM (perf_event_paranoid?)",
+     * "ENOENT (no PMU)", ...).
+     */
+    static bool probe(std::string *reason = nullptr);
+
+    /** Open + enable the counters; false when unavailable. */
+    bool start();
+
+    /** Disable the counters (readable until destruction). */
+    void stop();
+
+    /** Current readings; {ok=false} when start() failed. */
+    HwSample sample() const;
+
+    /** True between a successful start() and destruction. */
+    bool running() const { return running_; }
+
+    /** The reason start()/probe() failed ("ok" when it worked). */
+    const std::string &reason() const { return reason_; }
+
+  private:
+    void closeAll();
+
+    static constexpr int kNumEvents = 3;
+    int fds_[kNumEvents] = {-1, -1, -1};
+    bool running_ = false;
+    std::string reason_ = "not started";
+};
+
+/**
+ * Publish the probe result: `<prefix>.counters_available` = 0/1.
+ */
+void publishHwAvailability(MetricsRegistry &reg,
+                           const std::string &prefix = "hostprof");
+
+} // namespace hostprof
+} // namespace msgsim
+
+#endif // MSGSIM_HOSTPROF_HW_COUNTERS_HH

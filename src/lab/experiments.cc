@@ -18,6 +18,7 @@
 #include "check/explorer.hh"
 #include "check/shrink.hh"
 #include "coll/collectives.hh"
+#include "hostprof/hostprof.hh"
 #include "prof/profile.hh"
 #include "core/cost_model.hh"
 #include "hlam/hl_stack.hh"
@@ -1309,7 +1310,8 @@ makeP1()
               "substrate (host wall-clock)";
     e.deterministic = false;
     e.columns = {"substrate", "packets", "wall us", "packets/s"};
-    e.points = {"cm5", "cr", "cmam am4", "prof differential"};
+    e.points = {"cm5", "cr", "cmam am4", "prof differential",
+                "cm5 profiled"};
     e.notes = {"Measures this repository's simulator, not the "
                "modeled machine; feeds the repo-root "
                "BENCH_throughput.json perf trajectory."};
@@ -1337,11 +1339,17 @@ makeP1()
                          .count();
             delivered = primary.result.packets +
                         baseline.result.packets;
-        } else if (pi == 0 || pi == 1) {
-            label = pi == 0 ? "cm5 network" : "cr network";
+        } else if (pi == 0 || pi == 1 || pi == 4) {
+            // The fifth point repeats the cm5 pump with the host
+            // self-profiler attached: the trajectory shows what the
+            // instrumentation itself costs (thread-local attach, so
+            // concurrent grid points are unaffected).
+            label = pi == 0 ? "cm5 network"
+                  : pi == 1 ? "cr network"
+                            : "cm5 network (hostprof)";
             Simulator sim;
             std::unique_ptr<Network> net;
-            if (pi == 0) {
+            if (pi != 1) {
                 Cm5Network::Config cfg;
                 cfg.nodes = 16;
                 net = std::make_unique<Cm5Network>(sim, cfg);
@@ -1354,6 +1362,9 @@ makeP1()
                 ++delivered;
                 return true;
             });
+            hostprof::HostProfiler hp;
+            if (pi == 4)
+                hp.attach();
             const auto t0 = clock::now();
             for (std::uint64_t i = 0; i < kPackets; ++i) {
                 net->inject(
@@ -1363,6 +1374,8 @@ makeP1()
             wallUs = std::chrono::duration<double, std::micro>(
                          clock::now() - t0)
                          .count();
+            if (pi == 4)
+                hp.detach();
         } else {
             label = "cmam am4 round";
             StackConfig cfg;
@@ -1434,6 +1447,98 @@ makeP2()
     return e;
 }
 
+// ------------------------------------------------------------------
+// H1 — host self-profile *counts*: scope entries and heap allocation
+// traffic per subsystem under the PR 6 self-profiler.  Cycle costs
+// are wall-clock and belong to the bench trajectory; the counts are
+// pure functions of the (deterministic) simulation and golden-gate
+// that the instrumentation keeps firing from every layer.
+// ------------------------------------------------------------------
+
+Experiment
+makeH1()
+{
+    Experiment e;
+    e.name = "H1";
+    e.title = "Host self-profile: scope entries and heap allocations "
+              "per subsystem (counts only, golden-gated)";
+    e.columns = {"workload", "subsystem", "enters", "allocs",
+                 "alloc bytes", "check"};
+    e.points = {"xfer cm5", "xfer cr", "stream cm5", "am4 round"};
+    e.notes = {"Self cycles are host wall-clock and feed "
+               "BENCH_throughput.json via msgsim-selfprof; this "
+               "table pins only the deterministic counts.",
+               "The (total) row's check verifies the share-sum "
+               "identity: scopes balanced, enters == exits, and the "
+               "per-node self costs summing exactly to the root "
+               "total.",
+               "Attachment is thread-local, so the concurrent sweep "
+               "cannot observe another grid point's profiler."};
+    e.runPoint = [](std::size_t pi) {
+        hostprof::HostProfiler hp;
+        hp.attach();
+        const char *label = "";
+        switch (pi) {
+        case 0:
+        case 1: {
+            label = pi == 0 ? "xfer cm5" : "xfer cr";
+            StackConfig cfg = paperCm5();
+            if (pi == 1)
+                cfg.substrate = Substrate::Cr;
+            Stack stack(cfg);
+            FiniteXfer proto(stack);
+            FiniteXferParams params;
+            params.words = 64;
+            proto.run(params);
+            break;
+        }
+        case 2: {
+            label = "stream cm5";
+            Stack stack(paperCm5());
+            StreamProtocol proto(stack);
+            StreamParams params;
+            params.words = 64;
+            proto.run(params);
+            break;
+        }
+        default: {
+            label = "am4 round";
+            StackConfig cfg;
+            cfg.nodes = 2;
+            Stack stack(cfg);
+            const int h = stack.cmam(1).registerHandler(
+                [](NodeId, const std::vector<Word> &) {});
+            for (int i = 0; i < 64; ++i) {
+                stack.cmam(0).am4(1, h, {1, 2, 3, 4});
+                stack.settle();
+                stack.cmam(1).poll();
+            }
+            break;
+        }
+        }
+        hp.detach();
+
+        std::vector<Row> rows;
+        std::uint64_t selfSum = 0;
+        for (const auto &sub : hp.subsystems()) {
+            selfSum += sub.selfCycles;
+            rows.push_back({T(label), T(sub.name), I(sub.enters),
+                            I(sub.allocs), I(sub.allocBytes),
+                            Cell::null()});
+        }
+        const bool identity = hp.balanced() &&
+                              hp.totalEnters() == hp.totalExits() &&
+                              hp.totalEnters() > 0 &&
+                              selfSum == hp.rootCycles();
+        rows.push_back({T(label), T("(total)"), I(hp.totalEnters()),
+                        I(hp.scopedAllocs()),
+                        I(hp.scopedAllocBytes()),
+                        okCell(identity)});
+        return rows;
+    };
+    return e;
+}
+
 void
 registerBuiltins(ExperimentRegistry &reg)
 {
@@ -1462,6 +1567,7 @@ registerBuiltins(ExperimentRegistry &reg)
     reg.add(makeC1());
     reg.add(makeP1());
     reg.add(makeP2());
+    reg.add(makeH1());
 }
 
 } // namespace

@@ -63,7 +63,9 @@ usage(std::FILE *out)
         "                     on any mismatch\n"
         "  --golden-dir=DIR   golden directory (default: lab/golden)\n"
         "  --bench-out=FILE   run the P1 throughput micro-benchmark and\n"
-        "                     write its JSON artifact to FILE\n"
+        "                     append a labelled entry to the FILE\n"
+        "                     trajectory (prior entries preserved)\n"
+        "  --bench-label=L    trajectory entry label (default: p1)\n"
         "  --quiet            suppress the markdown report on stdout\n"
         "\n"
         "observability (PR 1):\n"
@@ -83,6 +85,7 @@ struct CliOptions
     std::string jsonOut;
     std::string csvOut;
     std::string benchOut;
+    std::string benchLabel = "p1";
     std::string goldenDir = "lab/golden";
     std::vector<std::string> filters;
     std::vector<std::string> names;
@@ -119,6 +122,8 @@ parseCli(int argc, char **argv, CliOptions &cli)
             cli.goldenDir = valueOf("--golden-dir=");
         } else if (arg.rfind("--bench-out=", 0) == 0) {
             cli.benchOut = valueOf("--bench-out=");
+        } else if (arg.rfind("--bench-label=", 0) == 0) {
+            cli.benchLabel = valueOf("--bench-label=");
         } else if (arg == "-j") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "error: -j needs a value\n");
@@ -261,7 +266,8 @@ main(int argc, char **argv)
     if (!cli.benchOut.empty()) {
         for (const auto &t : tables)
             if (t.name == "P1")
-                Reporter::writeFile(cli.benchOut, t.jsonText());
+                Reporter::appendBench(cli.benchOut, t,
+                                      cli.benchLabel);
     }
 
     int status = 0;

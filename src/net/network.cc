@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include "hostprof/hostprof.hh"
 #include "sim/log.hh"
 
 namespace msgsim
@@ -14,6 +15,7 @@ Network::attach(NodeId id, DeliverFn fn)
 bool
 Network::inject(Packet &&pkt)
 {
+    hostprof::HostScope hs(hostprof::Site::NetInject);
     const auto flow =
         std::make_tuple(pkt.src, pkt.dst, static_cast<int>(pkt.vnet));
     pkt.injectSeq = nextInjectSeq_;
@@ -70,6 +72,7 @@ Network::gateDuplicate(const Packet &pkt)
 bool
 Network::presentToSink(Packet &&pkt)
 {
+    hostprof::HostScope hs(hostprof::Site::NetDeliver);
     auto it = sinks_.find(pkt.dst);
     if (it == sinks_.end())
         msgsim_panic("no sink attached for node ", pkt.dst);

@@ -1,5 +1,6 @@
 #include "ni/net_iface.hh"
 
+#include "hostprof/hostprof.hh"
 #include "machine/memory.hh"
 #include "net/lineage_hook.hh"
 #include "sim/log.hh"
@@ -24,6 +25,7 @@ void
 NetIface::writeSendCtl(Accounting &acct, NodeId dst, HwTag tag,
                        Word header, int lenWords, int vnet)
 {
+    hostprof::HostScope hs(hostprof::Site::NiSend);
     acct.charge(OpClass::DevStore);
     if (lenWords == 0)
         lenWords = cfg_.dataWords;
@@ -46,6 +48,7 @@ NetIface::writeSendCtl(Accounting &acct, NodeId dst, HwTag tag,
 void
 NetIface::writeSendDouble(Accounting &acct, Word w0, Word w1)
 {
+    hostprof::HostScope hs(hostprof::Site::NiSend);
     acct.charge(OpClass::DevStore);
     if (!staged_)
         msgsim_panic("send data pushed with no packet staged");
@@ -58,6 +61,7 @@ NetIface::writeSendDouble(Accounting &acct, Word w0, Word w1)
 void
 NetIface::writeSendWord(Accounting &acct, Word w)
 {
+    hostprof::HostScope hs(hostprof::Site::NiSend);
     acct.charge(OpClass::DevStore);
     if (!staged_)
         msgsim_panic("send data pushed with no packet staged");
@@ -101,6 +105,7 @@ NetIface::hwPeekRecv() const
 Word
 NetIface::readStatus(Accounting &acct)
 {
+    hostprof::HostScope hs(hostprof::Site::NiRecv);
     acct.charge(OpClass::DevLoad);
     Word status = 0;
     if (lastSendOk_)
@@ -142,6 +147,7 @@ NetIface::consumeData(std::size_t nwords)
 Word
 NetIface::readRecvHeader(Accounting &acct)
 {
+    hostprof::HostScope hs(hostprof::Site::NiRecv);
     acct.charge(OpClass::DevLoad);
     return headPacket("header read").header;
 }
@@ -149,6 +155,7 @@ NetIface::readRecvHeader(Accounting &acct)
 Word
 NetIface::readRecvSource(Accounting &acct)
 {
+    hostprof::HostScope hs(hostprof::Site::NiRecv);
     acct.charge(OpClass::DevLoad);
     return headPacket("source read").src;
 }
@@ -156,6 +163,7 @@ NetIface::readRecvSource(Accounting &acct)
 std::pair<Word, Word>
 NetIface::readRecvDouble(Accounting &acct)
 {
+    hostprof::HostScope hs(hostprof::Site::NiRecv);
     acct.charge(OpClass::DevLoad);
     const Packet &pkt = headPacket("double read");
     if (recvReadIndex_ + 2 > pkt.data.size())
@@ -169,6 +177,7 @@ NetIface::readRecvDouble(Accounting &acct)
 Word
 NetIface::readRecvWord(Accounting &acct)
 {
+    hostprof::HostScope hs(hostprof::Site::NiRecv);
     acct.charge(OpClass::DevLoad);
     const Packet &pkt = headPacket("word read");
     if (recvReadIndex_ + 1 > pkt.data.size())
@@ -181,6 +190,7 @@ NetIface::readRecvWord(Accounting &acct)
 void
 NetIface::writeSendDma(Accounting &acct, Addr src, int words)
 {
+    hostprof::HostScope hs(hostprof::Site::NiDma);
     acct.charge(OpClass::DevStore);
     ++dmaTransfers_;
     if (mem_ == nullptr)
@@ -199,6 +209,7 @@ NetIface::writeSendDma(Accounting &acct, Addr src, int words)
 void
 NetIface::dmaScatterRecv(Accounting &acct, Addr dst)
 {
+    hostprof::HostScope hs(hostprof::Site::NiDma);
     acct.charge(OpClass::DevStore);
     ++dmaTransfers_;
     if (mem_ == nullptr)
@@ -214,6 +225,7 @@ NetIface::dmaScatterRecv(Accounting &acct, Addr dst)
 bool
 NetIface::hwDeliver(Packet &&pkt)
 {
+    hostprof::HostScope hs(hostprof::Site::NiHwDeliver);
     TraceSession *ts = TraceSession::current();
     // Hardware CRC check: detection without correction.  A bad packet
     // is consumed and discarded; software only notices the loss.

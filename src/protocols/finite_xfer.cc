@@ -1,5 +1,6 @@
 #include "protocols/finite_xfer.hh"
 
+#include "hostprof/hostprof.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
 #include "sim/trace_session.hh"
@@ -274,6 +275,7 @@ FiniteXfer::transferRestarts(Word tid) const
 RunResult
 FiniteXfer::run(const FiniteXferParams &params)
 {
+    hostprof::HostScope hps(hostprof::Site::ProtoXfer);
     RunResult res;
     const int n = stack_.dataWords();
     if (params.words == 0 ||

@@ -1,5 +1,6 @@
 #include "protocols/single_packet.hh"
 
+#include "hostprof/hostprof.hh"
 #include "sim/log.hh"
 
 namespace msgsim
@@ -8,6 +9,7 @@ namespace msgsim
 SinglePacketResult
 runSinglePacket(Stack &stack, const SinglePacketParams &params)
 {
+    hostprof::HostScope hps(hostprof::Site::ProtoSingle);
     SinglePacketResult res;
     Node &src = stack.node(params.src);
     Node &dst = stack.node(params.dst);

@@ -1,5 +1,6 @@
 #include "protocols/socket.hh"
 
+#include "hostprof/hostprof.hh"
 #include "sim/trace_session.hh"
 
 namespace msgsim
@@ -31,6 +32,7 @@ StreamSocket::drain()
     if (!open_)
         return;
     ScopedSpan span(src_, "socket", "drain");
+    hostprof::HostScope hps(hostprof::Site::ProtoSocket);
     // A partial ack group would leave the tail of the ring
     // unacknowledged forever; flush it before waiting.
     proto_.flushGroupAcks(chan_);
@@ -44,6 +46,7 @@ StreamSocket::close()
         return;
     drain();
     ScopedSpan span(src_, "socket", "close");
+    hostprof::HostScope hps(hostprof::Site::ProtoSocket);
     proto_.closePersistent(chan_);
     open_ = false;
 }
@@ -52,6 +55,7 @@ void
 StreamSocket::write(const std::vector<Word> &words)
 {
     ScopedSpan span(src_, "socket", "write");
+    hostprof::HostScope hps(hostprof::Site::ProtoSocket);
     proto_.sendOn(chan_, words);
     packetsWritten_ += words.size() /
                        static_cast<std::size_t>(proto_.packetWords());
@@ -61,6 +65,7 @@ void
 StreamSocket::flush()
 {
     ScopedSpan span(src_, "socket", "flush");
+    hostprof::HostScope hps(hostprof::Site::ProtoSocket);
     proto_.flushChannel(chan_);
 }
 

@@ -1,6 +1,7 @@
 #include "protocols/stream.hh"
 
 #include "cmam/send_path.hh"
+#include "hostprof/hostprof.hh"
 #include "sim/log.hh"
 #include "sim/metrics.hh"
 #include "sim/rng.hh"
@@ -774,6 +775,7 @@ StreamProtocol::armRetxTimer(Word chanId, const StreamParams &params)
 RunResult
 StreamProtocol::run(const StreamParams &params)
 {
+    hostprof::HostScope hps(hostprof::Site::ProtoStream);
     RunResult res;
     const int n = stack_.dataWords();
     if (params.words == 0 ||

@@ -1,5 +1,6 @@
 #include "sim/event.hh"
 
+#include "hostprof/hostprof.hh"
 #include "sim/metrics.hh"
 #include "sim/trace_session.hh"
 
@@ -11,8 +12,17 @@ Simulator::step()
 {
     if (queue_.empty())
         return false;
+    // Host self-profiling phases: the heap pop and the handler run
+    // get their own scopes, so sim.step's *self* cost is exactly the
+    // dispatch bookkeeping between them.  One thread-local pointer
+    // test each when no profiler is attached.
+    hostprof::HostScope stepScope(hostprof::Site::SimStep);
     Tick when = 0;
-    auto action = queue_.pop(when);
+    EventQueue::Action action;
+    {
+        hostprof::HostScope popScope(hostprof::Site::SimHeapPop);
+        action = queue_.pop(when);
+    }
     if (when != now_)
         ++tickAdvances_;
     now_ = when;
@@ -25,7 +35,10 @@ Simulator::step()
             ts->counterSample("sim.queue_depth",
                               static_cast<double>(depth));
     }
-    action();
+    {
+        hostprof::HostScope runScope(hostprof::Site::SimHandler);
+        action();
+    }
     return true;
 }
 

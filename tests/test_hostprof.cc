@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Host self-profiler tests (PR 6): the non-negotiables first —
+ * simulation results are bit-identical with the profiler attached or
+ * not, and a HostScope with no profiler attached performs zero heap
+ * allocations — then the reporting surface (calling-context tree
+ * self-cost arithmetic, shares summing to 100%, the folded-stack
+ * grammar, metrics publication), allocation attribution, thread-local
+ * isolation, the perf_event_open probe's graceful fallback, and the
+ * bench-trajectory migration/replacement rules.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "hostprof/hostprof.hh"
+#include "hostprof/hw_counters.hh"
+#include "lab/reporter.hh"
+#include "lab/result_table.hh"
+#include "protocols/finite_xfer.hh"
+#include "protocols/stream.hh"
+#include "sim/metrics.hh"
+
+namespace msgsim
+{
+namespace
+{
+
+using hostprof::HostProfiler;
+using hostprof::HostScope;
+using hostprof::Site;
+
+StackConfig
+baseConfig()
+{
+    StackConfig cfg;
+    cfg.nodes = 4;
+    return cfg;
+}
+
+RunResult
+runXfer(Word words)
+{
+    Stack stack(baseConfig());
+    FiniteXfer proto(stack);
+    FiniteXferParams p;
+    p.words = words;
+    return proto.run(p);
+}
+
+/** Everything a RunResult reports, as one comparable tuple. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_TRUE(a.counts.src == b.counts.src);
+    EXPECT_TRUE(a.counts.dst == b.counts.dst);
+    EXPECT_EQ(a.dataOk, b.dataOk);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.oooArrivals, b.oooArrivals);
+    EXPECT_EQ(a.acksSent, b.acksSent);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.duplicates, b.duplicates);
+}
+
+// ------------------------------------------------------------------
+// The two invariants everything else depends on.
+// ------------------------------------------------------------------
+
+TEST(HostProf, SimulationIsBitIdenticalProfilerOnOrOff)
+{
+    const RunResult off1 = runXfer(64);
+
+    HostProfiler hp;
+    hp.attach();
+    const RunResult on = runXfer(64);
+    hp.detach();
+
+    const RunResult off2 = runXfer(64);
+
+    expectIdentical(off1, on);
+    expectIdentical(off1, off2);
+
+    // And the profiler actually saw the run it rode along on.
+    EXPECT_GT(hp.totalEnters(), 0u);
+    EXPECT_EQ(hp.totalEnters(), hp.totalExits());
+}
+
+TEST(HostProf, DisabledScopesAllocateNothing)
+{
+    ASSERT_EQ(HostProfiler::current(), nullptr);
+    // Warm up any lazy TLS/runtime allocation before measuring.
+    {
+        HostScope warm(Site::SimStep);
+    }
+    const std::uint64_t before = hostprof::globalAllocCount();
+    for (int i = 0; i < 1000; ++i) {
+        HostScope a(Site::SimStep);
+        HostScope b(Site::SimHandler);
+        HostScope c(Site::CmamPoll);
+    }
+    EXPECT_EQ(hostprof::globalAllocCount(), before);
+}
+
+// ------------------------------------------------------------------
+// Calling-context-tree arithmetic.
+// ------------------------------------------------------------------
+
+TEST(HostProf, NestedSelfCostExcludesChildren)
+{
+    HostProfiler hp;
+    hp.attach();
+    {
+        HostScope outer(Site::SimStep);
+        {
+            HostScope inner1(Site::SimHeapPop);
+        }
+        {
+            HostScope inner2(Site::SimHandler);
+        }
+    }
+    hp.detach();
+
+    ASSERT_TRUE(hp.balanced());
+    const auto rows = hp.rows();
+    ASSERT_EQ(rows.size(), 3u);
+
+    // Top-level scopes sit at depth 1 (the implicit root is depth 0).
+    const HostProfiler::Row *outer = nullptr;
+    std::uint64_t childTotal = 0;
+    for (const auto &r : rows) {
+        if (r.depth == 1) {
+            outer = &r;
+        } else {
+            EXPECT_EQ(r.depth, 2);
+            EXPECT_EQ(r.selfCycles, r.totalCycles); // leaves
+            childTotal += r.totalCycles;
+        }
+    }
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->site, Site::SimStep);
+    EXPECT_EQ(outer->selfCycles, outer->totalCycles - childTotal);
+
+    // Self costs telescope: they sum exactly to the root total.
+    std::uint64_t selfSum = 0;
+    for (const auto &r : rows)
+        selfSum += r.selfCycles;
+    EXPECT_EQ(selfSum, hp.rootCycles());
+}
+
+TEST(HostProf, SubsystemSharesSumToOneHundredPercent)
+{
+    HostProfiler hp;
+    hp.attach();
+    const RunResult r = runXfer(32);
+    hp.detach();
+    ASSERT_TRUE(r.dataOk);
+    ASSERT_TRUE(hp.balanced());
+
+    double shareSum = 0.0;
+    std::uint64_t selfSum = 0;
+    int active = 0;
+    for (const auto &sub : hp.subsystems()) {
+        shareSum += sub.share;
+        selfSum += sub.selfCycles;
+        if (sub.enters > 0)
+            ++active;
+    }
+    EXPECT_EQ(selfSum, hp.rootCycles());
+    EXPECT_NEAR(shareSum, 1.0, 1e-9);
+    // An xfer run exercises the whole stack: sim, net, a substrate,
+    // ni, cmam, hl and proto should all be live.
+    EXPECT_GE(active, 6);
+}
+
+TEST(HostProf, FoldedStacksFollowTheGrammar)
+{
+    HostProfiler hp;
+    hp.attach();
+    (void)runXfer(16);
+    hp.detach();
+
+    const std::string folded = hp.foldedStacks("host");
+    ASSERT_FALSE(folded.empty());
+    ASSERT_EQ(folded.back(), '\n');
+
+    std::istringstream lines(folded);
+    std::string line;
+    std::uint64_t countSum = 0;
+    while (std::getline(lines, line)) {
+        // Exactly one space, separating the frame path from the count.
+        const auto space = line.find(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        ASSERT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+
+        const std::string path = line.substr(0, space);
+        const std::string count = line.substr(space + 1);
+        EXPECT_EQ(path.rfind("host;", 0), 0u) << line;
+        ASSERT_FALSE(path.empty());
+        EXPECT_NE(path.front(), ';');
+        EXPECT_NE(path.back(), ';');
+        EXPECT_EQ(path.find(";;"), std::string::npos) << line;
+
+        ASSERT_FALSE(count.empty()) << line;
+        for (char c : count)
+            ASSERT_TRUE(c >= '0' && c <= '9') << line;
+        countSum += std::stoull(count);
+    }
+    // Folded counts are self cycles, so they also telescope.
+    EXPECT_EQ(countSum, hp.rootCycles());
+}
+
+// ------------------------------------------------------------------
+// Allocation attribution.
+// ------------------------------------------------------------------
+
+TEST(HostProf, AllocationsAttributeToTheInnermostScope)
+{
+    HostProfiler hp;
+    hp.attach();
+    {
+        HostScope outer(Site::CmamSend);
+        {
+            HostScope inner(Site::NiSend);
+            auto p = std::make_unique<char[]>(4096);
+            // Keep the allocation alive across the scope close so the
+            // optimizer cannot elide it.
+            EXPECT_NE(p.get(), nullptr);
+        }
+    }
+    hp.detach();
+
+    EXPECT_GE(hp.scopedAllocs(), 1u);
+    EXPECT_GE(hp.scopedAllocBytes(), 4096u);
+    bool attributed = false;
+    for (const auto &r : hp.rows())
+        if (r.site == Site::NiSend && r.allocs >= 1 &&
+            r.allocBytes >= 4096)
+            attributed = true;
+    EXPECT_TRUE(attributed);
+}
+
+TEST(HostProf, UnscopedAllocationsAreCountedSeparately)
+{
+    HostProfiler hp;
+    hp.attach();
+    auto p = std::make_unique<char[]>(512);
+    EXPECT_NE(p.get(), nullptr);
+    hp.detach();
+
+    EXPECT_GE(hp.unscopedAllocs(), 1u);
+    EXPECT_GE(hp.unscopedAllocBytes(), 512u);
+}
+
+TEST(HostProf, GlobalAllocCountersAreAlwaysMaintained)
+{
+    const std::uint64_t count0 = hostprof::globalAllocCount();
+    const std::uint64_t bytes0 = hostprof::globalAllocBytes();
+    auto p = std::make_unique<char[]>(2048);
+    EXPECT_NE(p.get(), nullptr);
+    EXPECT_GT(hostprof::globalAllocCount(), count0);
+    EXPECT_GE(hostprof::globalAllocBytes(), bytes0 + 2048);
+}
+
+// ------------------------------------------------------------------
+// Thread-local attachment.
+// ------------------------------------------------------------------
+
+TEST(HostProf, AttachmentIsThreadLocal)
+{
+    HostProfiler hp;
+    hp.attach();
+    ASSERT_EQ(HostProfiler::current(), &hp);
+
+    std::atomic<bool> otherSawProfiler{true};
+    std::thread other([&] {
+        otherSawProfiler = HostProfiler::current() != nullptr;
+        // Scopes on an unattached thread must be inert.
+        HostScope s(Site::SimStep);
+    });
+    other.join();
+    EXPECT_FALSE(otherSawProfiler);
+    EXPECT_EQ(hp.totalEnters(), 0u);
+
+    hp.detach();
+    EXPECT_EQ(HostProfiler::current(), nullptr);
+}
+
+// ------------------------------------------------------------------
+// Reporting surfaces.
+// ------------------------------------------------------------------
+
+TEST(HostProf, PublishMetricsEmitsPerSubsystemCells)
+{
+    HostProfiler hp;
+    hp.attach();
+    (void)runXfer(16);
+    hp.detach();
+
+    MetricsRegistry reg;
+    hp.publishMetrics(reg, "hostprof");
+    EXPECT_TRUE(reg.has("hostprof.scope_enters"));
+    EXPECT_TRUE(reg.has("hostprof.scope_exits"));
+    EXPECT_TRUE(reg.has("hostprof.root_cycles"));
+    EXPECT_TRUE(
+        reg.has("hostprof.enters", {{"subsystem", "sim"}}));
+    EXPECT_TRUE(
+        reg.has("hostprof.self_cycles", {{"subsystem", "cmam"}}));
+    EXPECT_TRUE(reg.has("hostprof.share", {{"subsystem", "proto"}}));
+    EXPECT_EQ(reg.counter("hostprof.scope_enters"),
+              hp.totalEnters());
+}
+
+TEST(HostProf, JsonReportHasTheAdvertisedShape)
+{
+    HostProfiler hp;
+    hp.attach();
+    (void)runXfer(16);
+    hp.detach();
+
+    const Json doc = hp.toJson();
+    ASSERT_NE(doc.find("scopes"), nullptr);
+    ASSERT_NE(doc.find("alloc"), nullptr);
+    ASSERT_NE(doc.find("subsystems"), nullptr);
+    ASSERT_NE(doc.find("rows"), nullptr);
+    const Json *subs = doc.find("subsystems");
+    EXPECT_EQ(subs->size(),
+              static_cast<std::size_t>(hostprof::numSubsystems));
+}
+
+// ------------------------------------------------------------------
+// perf_event_open fallback.
+// ------------------------------------------------------------------
+
+TEST(HostProf, HwCountersNeverCrash)
+{
+    std::string reason;
+    const bool available = hostprof::HwCounters::probe(&reason);
+    EXPECT_FALSE(reason.empty());
+
+    hostprof::HwCounters hw;
+    const bool started = hw.start();
+    // start() must agree with probe() about this environment.
+    EXPECT_EQ(started, available);
+    const auto sample = hw.sample();
+    if (!started) {
+        EXPECT_FALSE(sample.ok);
+        EXPECT_FALSE(hw.reason().empty());
+    } else {
+        hw.stop();
+        EXPECT_TRUE(hw.sample().ok);
+        EXPECT_GT(hw.sample().instructions, 0u);
+    }
+
+    MetricsRegistry reg;
+    hostprof::publishHwAvailability(reg, "hostprof");
+    ASSERT_TRUE(reg.has("hostprof.counters_available"));
+    EXPECT_EQ(reg.gauge("hostprof.counters_available"),
+              available ? 1.0 : 0.0);
+}
+
+// ------------------------------------------------------------------
+// Bench trajectory (satellite 1).
+// ------------------------------------------------------------------
+
+class BenchTrajectory : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("msgsim_bench_test_" +
+                 std::to_string(::getpid()) + ".json");
+        std::filesystem::remove(path_);
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    static lab::ResultTable
+    table(const char *name, std::int64_t value)
+    {
+        lab::ResultTable t;
+        t.name = name;
+        t.title = "test table";
+        t.columns = {"value"};
+        t.addRow({lab::Cell::integer(
+            static_cast<std::uint64_t>(value))});
+        return t;
+    }
+
+    Json
+    readDoc() const
+    {
+        std::ifstream in(path_);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        Json doc;
+        std::string error;
+        EXPECT_TRUE(Json::parse(text, doc, &error)) << error;
+        return doc;
+    }
+
+    std::filesystem::path path_;
+};
+
+TEST_F(BenchTrajectory, AppendsAndPreservesEntries)
+{
+    lab::Reporter::appendBench(path_.string(), table("P1", 1), "p1");
+    lab::Reporter::appendBench(path_.string(), table("H1-wall", 2),
+                               "selfprof");
+
+    const Json doc = readDoc();
+    const Json *bench = doc.find("bench");
+    ASSERT_NE(bench, nullptr);
+    EXPECT_EQ(bench->asString(), "msgsim perf trajectory");
+    const Json *entries = doc.find("entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->size(), 2u);
+    EXPECT_EQ(entries->at(0).find("label")->asString(), "p1");
+    EXPECT_EQ(entries->at(1).find("label")->asString(), "selfprof");
+}
+
+TEST_F(BenchTrajectory, ReplacesMatchingEntryInPlace)
+{
+    lab::Reporter::appendBench(path_.string(), table("P1", 1), "p1");
+    lab::Reporter::appendBench(path_.string(), table("H1-wall", 2),
+                               "selfprof");
+    lab::Reporter::appendBench(path_.string(), table("P1", 3), "p1");
+
+    const Json doc = readDoc();
+    const Json *entries = doc.find("entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->size(), 2u); // replaced, not appended
+    const Json &first = entries->at(0);
+    EXPECT_EQ(first.find("label")->asString(), "p1");
+    const Json *rows = first.find("rows");
+    ASSERT_NE(rows, nullptr);
+    EXPECT_EQ(rows->at(0).at(0).asInt(), 3);
+}
+
+TEST_F(BenchTrajectory, MigratesPreTrajectorySnapshot)
+{
+    // The PR 5 format: one bare ResultTable document.
+    lab::Reporter::writeFile(path_.string(),
+                             table("P1", 7).jsonText());
+    lab::Reporter::appendBench(path_.string(), table("P1", 8), "p1");
+
+    const Json doc = readDoc();
+    const Json *entries = doc.find("entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->size(), 2u);
+    EXPECT_EQ(entries->at(0).find("label")->asString(),
+              "pre-trajectory snapshot");
+    EXPECT_EQ(entries->at(0).find("rows")->at(0).at(0).asInt(), 7);
+    EXPECT_EQ(entries->at(1).find("label")->asString(), "p1");
+}
+
+// ------------------------------------------------------------------
+// A second protocol driver, to pin the proto.* site split.
+// ------------------------------------------------------------------
+
+TEST(HostProf, StreamRunsAttributeToTheStreamSite)
+{
+    HostProfiler hp;
+    hp.attach();
+    {
+        Stack stack(baseConfig());
+        StreamProtocol proto(stack);
+        StreamParams p;
+        p.words = 32;
+        const RunResult r = proto.run(p);
+        EXPECT_TRUE(r.dataOk);
+    }
+    hp.detach();
+
+    bool sawStream = false, sawXfer = false;
+    for (const auto &r : hp.rows()) {
+        if (r.site == Site::ProtoStream)
+            sawStream = true;
+        if (r.site == Site::ProtoXfer)
+            sawXfer = true;
+    }
+    EXPECT_TRUE(sawStream);
+    EXPECT_FALSE(sawXfer);
+}
+
+} // namespace
+} // namespace msgsim

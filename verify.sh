@@ -19,6 +19,11 @@
 #                                on both substrates, the differential
 #                                table against its committed golden,
 #                                and a BENCH_throughput.json refresh
+#   ./verify.sh --hostprof       only the host self-profiler gate:
+#                                H1 against its golden, msgsim-selfprof
+#                                on the P1 workload (share sum, top-3,
+#                                folded grammar), and the wall-clock
+#                                append to the bench trajectory
 set -euo pipefail
 
 repo_dir="$(cd "$(dirname "$0")" && pwd)"
@@ -145,10 +150,74 @@ check_prof() {
         "$repo_dir/tests/golden/prof_differential.json"
 
     # Refresh the perf trajectory: P1 now times the profiled
-    # comparison as its fourth wall-clock point.
+    # comparison as its fifth wall-clock point.
     (cd "$repo_dir" && "$lab" --bench-out=BENCH_throughput.json \
-        --quiet P1 > /dev/null)
+        --bench-label=p1 --quiet P1 > /dev/null)
     echo "prof ok: artifacts produced, differential matches golden"
+}
+
+check_hostprof() {
+    local selfprof="$repo_dir/build/src/hostprof/msgsim-selfprof"
+    local lab="$repo_dir/build/src/lab/msgsim-lab"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    # The deterministic host-cost experiment must reproduce its
+    # golden: scope/alloc counts are pinned, cycle costs are not.
+    (cd "$repo_dir" && "$lab" H1 --check-golden --quiet)
+
+    # A profiled P1 workload must produce a breakdown whose shares
+    # sum to 100% (+-1%), name a top-3, and export well-formed
+    # folded stacks and JSON.
+    "$selfprof" --workload=p1 --packets=50000 \
+        --flame-out="$tmpdir/host.folded" \
+        --json-out="$tmpdir/host.json" > "$tmpdir/stdout.txt"
+
+    python3 - "$tmpdir/host.json" "$tmpdir/host.folded" \
+        "$tmpdir/stdout.txt" <<'EOF'
+import json, re, sys
+
+doc = json.load(open(sys.argv[1]))
+subs = doc["profile"]["subsystems"]
+share = sum(s["share"] for s in subs)
+assert abs(share - 1.0) <= 0.01, f"shares sum to {share}, not 1"
+active = [s for s in subs if s["enters"] > 0]
+assert len(active) >= 3, f"only {len(active)} active subsystems"
+scopes = doc["profile"]["scopes"]
+assert scopes["balanced"] and scopes["enters"] == scopes["exits"]
+assert scopes["root_cycles"] > 0
+
+# Folded grammar: ';'-joined space-free frames, ONE space, a count.
+for line in open(sys.argv[2]):
+    line = line.rstrip("\n")
+    assert re.fullmatch(r"[^ ;]+(;[^ ;]+)+ \d+", line), \
+        f"bad folded line: {line!r}"
+    assert line.startswith("host;"), f"bad prefix: {line!r}"
+
+text = open(sys.argv[3]).read()
+assert "top cost centers:" in text, "selfprof report lacks a top-3"
+assert "shares sum" in text, "selfprof report lacks the share sum"
+
+print(f"selfprof ok: {len(active)} active subsystems, "
+      f"share sum {share:.4f}, {scopes['enters']} scopes")
+EOF
+
+    # Append the selfprof wall-clock entry; the trajectory must keep
+    # at least two labelled entries (p1 refresh + selfprof).
+    (cd "$repo_dir" && "$selfprof" --workload=p1 --packets=50000 \
+        --bench-append=BENCH_throughput.json \
+        --bench-label=selfprof > /dev/null)
+    python3 - "$repo_dir/BENCH_throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+entries = doc["entries"]
+labels = [e["label"] for e in entries]
+assert len(entries) >= 2, f"trajectory has {len(entries)} entries"
+assert "selfprof" in labels, f"selfprof entry missing: {labels}"
+print(f"bench trajectory ok: {len(entries)} entries {labels}")
+EOF
+    echo "hostprof ok: H1 golden, shares ~100%, trajectory appended"
 }
 
 if [[ "${1:-}" == "--check" ]]; then
@@ -160,6 +229,12 @@ fi
 if [[ "${1:-}" == "--prof" ]]; then
     check_prof
     echo "verify --prof: OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--hostprof" ]]; then
+    check_hostprof
+    echo "verify --hostprof: OK"
     exit 0
 fi
 
@@ -188,4 +263,5 @@ check_traced_run "$repo_dir/build/examples/bulk_transfer"
 check_lab
 check_model_checker
 check_prof
+check_hostprof
 echo "verify: OK"
