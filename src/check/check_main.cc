@@ -41,7 +41,7 @@ usage(std::FILE *out)
         "scenario:\n"
         "  --protocol=P       single_packet | finite_xfer | stream |\n"
         "                     socket (default stream)\n"
-        "  --substrate=S      cm5 | cr (default cm5)\n"
+        "  --substrate=S      cm5 | cr | rdma | nicam (default cm5)\n"
         "  --nodes=N          nodes in the machine (default 2)\n"
         "  --packets=N        messages / data packets sent (default 3)\n"
         "  --group-ack=G      stream/socket ack grouping (default 1)\n"
@@ -105,6 +105,10 @@ parseCli(int argc, char **argv, CliOptions &cli)
                 cli.scenario.substrate = Substrate::Cm5;
             else if (s == "cr")
                 cli.scenario.substrate = Substrate::Cr;
+            else if (s == "rdma")
+                cli.scenario.substrate = Substrate::Rdma;
+            else if (s == "nicam")
+                cli.scenario.substrate = Substrate::Nicam;
             else {
                 std::fprintf(stderr,
                              "error: unknown substrate '%s'\n",

@@ -124,7 +124,7 @@ class SinglePacketScenario : public ScenarioHarness
                 return os.str();
             }
         }
-        if (cfg_.substrate == Substrate::Cr &&
+        if (stack_->network().features().inOrderDelivery &&
             !std::is_sorted(delivered_.begin(), delivered_.end())) {
             return "in-order substrate delivered messages out of "
                    "order";

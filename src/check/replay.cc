@@ -37,6 +37,10 @@ scenarioFromJson(const Json &j, ScenarioConfig &sc,
             sc.substrate = Substrate::Cr;
         else if (s->asString() == "cm5")
             sc.substrate = Substrate::Cm5;
+        else if (s->asString() == "rdma")
+            sc.substrate = Substrate::Rdma;
+        else if (s->asString() == "nicam")
+            sc.substrate = Substrate::Nicam;
         else {
             error = "unknown substrate '" + s->asString() + "'";
             return false;

@@ -243,6 +243,7 @@ Cmam::poll()
         RowScope r(a, CostRow::CallReturn);
         p.callRet(3);
     }
+    dispatchOps_ += 3;
     return drainLoop(/*entry_decode=*/true);
 }
 
@@ -264,6 +265,8 @@ Cmam::interruptService()
                  static_cast<std::uint64_t>(cfg_.trapDevOps));
     }
     ++interruptsTaken_;
+    dispatchOps_ += static_cast<std::uint64_t>(cfg_.trapRegOps) +
+                    static_cast<std::uint64_t>(cfg_.trapDevOps);
     // The handler's mask/shift constants are set up by the trap
     // vector, so the drain loop skips the poll-entry decode.
     return drainLoop(/*entry_decode=*/false);
@@ -287,6 +290,7 @@ Cmam::drainLoop(bool entry_decode)
             RowScope r(a, CostRow::CheckStatus);
             status = ni.readStatus(a);
             p.regOps(first ? 9 : 1);
+            dispatchOps_ += first ? 10 : 2; // status read + decode
             first = false;
         }
         if (!(status & ni_status::recvReady))
@@ -337,6 +341,7 @@ Cmam::drainLoop(bool entry_decode)
             RowScope r(a, CostRow::ControlFlow);
             p.branches(2);
         }
+        dispatchOps_ += 2;
     }
     return handled;
 }
@@ -360,6 +365,7 @@ Cmam::genericReceive(const Packet &head)
         RowScope r(a, CostRow::CallReturn);
         p.callRet(3);
     }
+    dispatchOps_ += 3;
     Word header;
     {
         RowScope r(a, CostRow::ReadNi);
@@ -380,6 +386,7 @@ Cmam::genericReceive(const Packet &head)
         RowScope r(a, CostRow::CallReturn);
         p.callRet(4);
     }
+    dispatchOps_ += 4;
 
     const std::uint32_t sel = hdr::fieldA(header);
     if (tag == HwTag::UserAm) {

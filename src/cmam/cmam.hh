@@ -203,6 +203,17 @@ class Cmam
     /** Stale xfer data packets discarded (restart recovery). */
     std::uint64_t staleXferDrops() const { return staleXferDrops_; }
 
+    /**
+     * Instructions spent on host handler dispatch so far: poll/trap
+     * linkage, NI status polling, tag-vector decode, and handler
+     * call/return glue — the overhead a NIC-offloaded AM substrate
+     * eliminates.  A plain diagnostic mirror of charges that stay
+     * inside the paper's Base Cost feature (the golden-pinned
+     * attribution is untouched); the differential profiler diffs it
+     * as its own row for the modern-substrate comparison.
+     */
+    std::uint64_t dispatchOps() const { return dispatchOps_; }
+
   private:
     void chargeSyscall();
     int drainLoop(bool entry_decode);
@@ -223,6 +234,7 @@ class Cmam
     std::uint64_t pollsHandled_ = 0;
     std::uint64_t staleXferDrops_ = 0;
     std::uint64_t interruptsTaken_ = 0;
+    std::uint64_t dispatchOps_ = 0;
 };
 
 } // namespace msgsim

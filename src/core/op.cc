@@ -36,6 +36,8 @@ toString(Feature feat)
       case Feature::InOrderDelivery: return "In-order Del.";
       case Feature::FaultTolerance:  return "Fault-toler.";
       case Feature::Idle:            return "Idle";
+      case Feature::CompletionPoll:  return "Compl. Poll";
+      case Feature::Registration:    return "Registration";
       default:                       return "?";
     }
 }

@@ -62,6 +62,14 @@ constexpr int numCategories = static_cast<int>(Category::NumCategories);
  * Idle is an extension of ours: in event-driven execution, polls that
  * find no packet are charged here so that the paper's four features
  * stay directly comparable with the calibration tables.
+ *
+ * CompletionPoll and Registration are further extensions for the
+ * modern substrate family (rdma/nicam): overheads the 1994 layers
+ * never paid, but which verbs-style NICs introduce — harvesting
+ * completion-queue entries, and pinning/translating memory regions
+ * before the NIC may touch them.  They come AFTER Idle so that the
+ * paper-feature indices (and every golden-pinned table) are
+ * unchanged; paperTotal() still sums only the first four.
  */
 enum class Feature : std::uint8_t
 {
@@ -70,6 +78,8 @@ enum class Feature : std::uint8_t
     InOrderDelivery,///< sequencing, offsets, reorder buffering
     FaultTolerance, ///< source buffering, acks, retransmission
     Idle,           ///< unproductive polling (event mode only)
+    CompletionPoll, ///< harvesting NIC completion-queue entries (rdma)
+    Registration,   ///< memory-region pin/translate before NIC access
     NumFeatures
 };
 

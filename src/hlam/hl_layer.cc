@@ -124,6 +124,7 @@ HlLayer::poll()
         RowScope r(a, CostRow::CallReturn);
         p.callRet(3);
     }
+    dispatchOps_ += 3;
     int handled = 0;
     bool first = true;
     for (;;) {
@@ -132,6 +133,7 @@ HlLayer::poll()
             RowScope r(a, CostRow::CheckStatus);
             status = ni.readStatus(a);
             p.regOps(first ? 9 : 1);
+            dispatchOps_ += first ? 10 : 2; // status read + decode
             first = false;
         }
         if (!(status & ni_status::recvReady))
@@ -163,6 +165,7 @@ HlLayer::poll()
             RowScope r(a, CostRow::ControlFlow);
             p.branches(2);
         }
+        dispatchOps_ += 2;
     }
     return handled;
 }
@@ -181,6 +184,7 @@ HlLayer::handleXferData()
         header = ni.readRecvHeader(a);
     }
     p.regOps(3); // tag-vector dispatch
+    dispatchOps_ += 3;
     const Word tid = hdr::fieldA(header);
     auto it = transfers_.find(tid);
     if (it == transfers_.end())
@@ -274,6 +278,7 @@ HlLayer::handleStreamData(NodeId src)
         RowScope r(a, CostRow::CallReturn);
         p.callRet(4); // user handler linkage
     }
+    dispatchOps_ += 7;
     if (!streamCb_)
         msgsim_panic("hl stream data with no callback installed");
     streamCb_(hdr::fieldA(header), src, data);

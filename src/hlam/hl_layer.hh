@@ -109,6 +109,13 @@ class HlLayer
     /** Drain the NI, dispatching by tag.  Returns packets handled. */
     int poll();
 
+    /**
+     * Instructions spent on host handler dispatch (poll linkage,
+     * status polling, tag decode, handler linkage) — the plain
+     * diagnostic mirror Cmam::dispatchOps() keeps; see there.
+     */
+    std::uint64_t dispatchOps() const { return dispatchOps_; }
+
   private:
     struct Transfer
     {
@@ -129,6 +136,7 @@ class HlLayer
     Addr tableBase_; ///< modeled transfer-record table (4 words each)
     int nextRec_ = 0;
     int active_ = 0;
+    std::uint64_t dispatchOps_ = 0;
     std::map<Word, Transfer> transfers_;
     StreamCb streamCb_;
 };

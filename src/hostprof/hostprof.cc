@@ -32,6 +32,7 @@ struct SiteInfo
 
 constexpr const char *kSubsystems[numSubsystems] = {
     "sim", "net", "cm5", "cr", "ni", "cmam", "hl", "proto",
+    "rdma", "nicam",
 };
 
 constexpr SiteInfo kSites[numSites] = {
@@ -57,6 +58,13 @@ constexpr SiteInfo kSites[numSites] = {
     {"proto.finite_xfer", 7},
     {"proto.stream", 7},
     {"proto.socket", 7},
+    {"rdma.route", 8},
+    {"rdma.deliver", 8},
+    {"rdma.post", 8},
+    {"rdma.poll", 8},
+    {"nicam.route", 9},
+    {"nicam.deliver", 9},
+    {"nicam.send", 9},
 };
 
 } // namespace

@@ -82,15 +82,22 @@ enum class Site : std::uint8_t
     ProtoXfer,   ///< finite-xfer protocol driver
     ProtoStream, ///< stream protocol driver
     ProtoSocket, ///< socket protocol driver
+    RdmaRoute,   ///< RDMA inject: fault absorption, QP ordering
+    RdmaDeliver, ///< RDMA edge arrival: QP queue drain, CQ push
+    RdmaPost,    ///< RDMA host layer: WQE build + doorbell
+    RdmaPoll,    ///< RDMA host layer: CQ poll / completion harvest
+    NicamRoute,  ///< nicam inject: fault switch + latency model
+    NicamDeliver,///< nicam edge arrival: handler table / fallback
+    NicamSend,   ///< nicam host layer: send paths
 };
 
-constexpr int numSites = static_cast<int>(Site::ProtoSocket) + 1;
+constexpr int numSites = static_cast<int>(Site::NicamSend) + 1;
 
 /** "sim.step", "ni.send", ... (space- and semicolon-free). */
 const char *siteName(Site s);
 
 /** Subsystem names, aggregation targets for the share table. */
-constexpr int numSubsystems = 8;
+constexpr int numSubsystems = 10;
 const char *subsystemName(int idx);
 
 /** Which subsystem a site belongs to (index into subsystemName). */

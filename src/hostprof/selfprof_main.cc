@@ -29,6 +29,8 @@
 
 #include "cm5net/cm5_network.hh"
 #include "crnet/cr_network.hh"
+#include "nicam/nicam_network.hh"
+#include "rdmanet/rdma_network.hh"
 #include "hostprof/hostprof.hh"
 #include "hostprof/hw_counters.hh"
 #include "lab/reporter.hh"
@@ -51,7 +53,8 @@ usage(std::FILE *out)
         "usage: msgsim-selfprof [options]\n"
         "\n"
         "  --workload=W       p1 (default: cm5 + cr + am4), or one of\n"
-        "                     cm5 | cr | am4 | xfer | stream\n"
+        "                     cm5 | cr | rdma | nicam | am4 | xfer | "
+        "stream\n"
         "  --packets=N        packets per network workload "
         "(default 200000)\n"
         "  --words=N          transfer volume for xfer/stream "
@@ -174,6 +177,55 @@ pumpNetwork(bool cm5, std::uint64_t packets)
 }
 
 WorkloadRun
+pumpRdma(std::uint64_t packets)
+{
+    WorkloadRun run;
+    run.label = "rdma network";
+    Simulator sim;
+    RdmaNetwork::Config cfg;
+    cfg.nodes = 16;
+    RdmaNetwork net(sim, cfg);
+    std::uint64_t delivered = 0;
+    net.attach(1, [&delivered](Packet &&) {
+        ++delivered;
+        return true;
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < packets; ++i) {
+        net.inject(Packet(0, 1, HwTag::UserAm, 0, {1, 2, 3, 4}));
+        sim.run();
+    }
+    run.wallUs = usSince(t0);
+    run.packets = delivered;
+    return run;
+}
+
+WorkloadRun
+pumpNicam(std::uint64_t packets)
+{
+    WorkloadRun run;
+    run.label = "nicam network";
+    Simulator sim;
+    NicamNetwork::Config cfg;
+    cfg.nodes = 16;
+    NicamNetwork net(sim, cfg);
+    std::uint64_t delivered = 0;
+    // Every packet hits the on-NIC handler table: the pump measures
+    // the offload dispatch path, not the host fallback.
+    net.offloadHandler(1, HwTag::UserAm, 0,
+                       [&delivered](const Packet &) { ++delivered; });
+    net.attach(1, [](Packet &&) { return true; });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < packets; ++i) {
+        net.inject(Packet(0, 1, HwTag::UserAm, 0, {1, 2, 3, 4}));
+        sim.run();
+    }
+    run.wallUs = usSince(t0);
+    run.packets = delivered;
+    return run;
+}
+
+WorkloadRun
 pumpAm4(std::uint64_t rounds)
 {
     WorkloadRun run;
@@ -235,6 +287,10 @@ runWorkloads(const Options &opt)
         runs.push_back(pumpNetwork(true, n));
     } else if (opt.workload == "cr") {
         runs.push_back(pumpNetwork(false, n));
+    } else if (opt.workload == "rdma") {
+        runs.push_back(pumpRdma(n));
+    } else if (opt.workload == "nicam") {
+        runs.push_back(pumpNicam(n));
     } else if (opt.workload == "am4") {
         runs.push_back(pumpAm4(n / 4));
     } else if (opt.workload == "xfer") {
@@ -336,7 +392,8 @@ main(int argc, char **argv)
         opt.packets = 2'000;
     const bool known =
         opt.workload == "p1" || opt.workload == "cm5" ||
-        opt.workload == "cr" || opt.workload == "am4" ||
+        opt.workload == "cr" || opt.workload == "rdma" ||
+        opt.workload == "nicam" || opt.workload == "am4" ||
         opt.workload == "xfer" || opt.workload == "stream";
     if (!known) {
         std::fprintf(stderr,

@@ -24,9 +24,11 @@
 #include "hlam/hl_stack.hh"
 #include "lab/registry.hh"
 #include "model/analytic.hh"
+#include "nicam/nicam_network.hh"
 #include "protocols/finite_xfer.hh"
 #include "protocols/single_packet.hh"
 #include "protocols/stream.hh"
+#include "rdmanet/rdma_network.hh"
 #include "workload/traffic.hh"
 
 namespace msgsim::lab
@@ -1311,7 +1313,7 @@ makeP1()
     e.deterministic = false;
     e.columns = {"substrate", "packets", "wall us", "packets/s"};
     e.points = {"cm5", "cr", "cmam am4", "prof differential",
-                "cm5 profiled"};
+                "cm5 profiled", "rdma", "nicam"};
     e.notes = {"Measures this repository's simulator, not the "
                "modeled machine; feeds the repo-root "
                "BENCH_throughput.json perf trajectory."};
@@ -1339,27 +1341,45 @@ makeP1()
                          .count();
             delivered = primary.result.packets +
                         baseline.result.packets;
-        } else if (pi == 0 || pi == 1 || pi == 4) {
+        } else if (pi == 0 || pi == 1 || pi >= 4) {
             // The fifth point repeats the cm5 pump with the host
             // self-profiler attached: the trajectory shows what the
             // instrumentation itself costs (thread-local attach, so
-            // concurrent grid points are unaffected).
+            // concurrent grid points are unaffected).  The modern
+            // substrates pump the same packet train so the trajectory
+            // compares all four fabrics like-for-like; nicam routes
+            // every packet through an on-NIC offload handler.
             label = pi == 0 ? "cm5 network"
                   : pi == 1 ? "cr network"
-                            : "cm5 network (hostprof)";
+                  : pi == 4 ? "cm5 network (hostprof)"
+                  : pi == 5 ? "rdma"
+                            : "nicam";
             Simulator sim;
             std::unique_ptr<Network> net;
-            if (pi != 1) {
-                Cm5Network::Config cfg;
-                cfg.nodes = 16;
-                net = std::make_unique<Cm5Network>(sim, cfg);
-            } else {
+            if (pi == 1) {
                 CrNetwork::Config cfg;
                 cfg.nodes = 16;
                 net = std::make_unique<CrNetwork>(sim, cfg);
+            } else if (pi == 5) {
+                RdmaNetwork::Config cfg;
+                cfg.nodes = 16;
+                net = std::make_unique<RdmaNetwork>(sim, cfg);
+            } else if (pi == 6) {
+                NicamNetwork::Config cfg;
+                cfg.nodes = 16;
+                auto nicam = std::make_unique<NicamNetwork>(sim, cfg);
+                nicam->offloadHandler(
+                    1, HwTag::UserAm, 0,
+                    [&delivered](const Packet &) { ++delivered; });
+                net = std::move(nicam);
+            } else {
+                Cm5Network::Config cfg;
+                cfg.nodes = 16;
+                net = std::make_unique<Cm5Network>(sim, cfg);
             }
-            net->attach(1, [&delivered](Packet &&) {
-                ++delivered;
+            net->attach(1, [&delivered, pi](Packet &&) {
+                if (pi != 6) // nicam counts in the offload handler
+                    ++delivered;
                 return true;
             });
             hostprof::HostProfiler hp;
@@ -1442,6 +1462,69 @@ makeP2()
                             paperCount(row.baseline), T(row.status)});
         rows.push_back({T("Total"), I(diff.primaryTotal),
                         I(diff.baselineTotal), Cell::null()});
+        return rows;
+    };
+    return e;
+}
+
+// ------------------------------------------------------------------
+// M1 — the substrate × feature matrix (PR 7): every protocol on
+// every substrate, with the per-feature instruction bill as columns.
+// The classic two-column differential (P2) becomes one slice of this
+// table; the modern substrates add the completion-poll, registration
+// and host-dispatch columns the 1994 table had no need for.
+// ------------------------------------------------------------------
+
+Experiment
+makeM1()
+{
+    Experiment e;
+    e.name = "M1";
+    e.title = "Substrate × feature matrix: per-feature instruction "
+              "bill of each protocol on each substrate";
+    e.columns = {"substrate", "protocol", "base", "buffer",
+                 "in-order", "fault-tol", "compl-poll", "regist",
+                 "dispatch", "total", "check"};
+    e.points = {"cm5", "cr", "rdma", "nicam"};
+    e.notes = {"Instruction counts from prof::runProfiled "
+               "(observe = false: the sweep is concurrent; counts "
+               "are bit-identical either way, by design).",
+               "On rdma the buffering/in-order/fault columns vanish "
+               "but completion-poll and registration appear; on "
+               "nicam the host dispatch column empties because the "
+               "NIC runs the handlers itself.",
+               "'total' is the paper-feature sum (base + buffer + "
+               "in-order + fault-tol); the modern columns are "
+               "itemized separately, as the paper itemizes its "
+               "per-feature overheads."};
+    e.runPoint = [](std::size_t pi) {
+        static const Substrate subs[] = {
+            Substrate::Cm5, Substrate::Cr, Substrate::Rdma,
+            Substrate::Nicam};
+        static const char *protos[] = {"single", "am4", "xfer",
+                                       "stream"};
+        std::vector<Row> rows;
+        for (const char *proto : protos) {
+            prof::ProfConfig pc;
+            pc.protocol = proto;
+            pc.substrate = subs[pi];
+            pc.observe = false;
+            const prof::ProfRun run = prof::runProfiled(pc);
+            const auto &c = run.result.counts;
+            rows.push_back(
+                {T(toString(pc.substrate)), T(proto),
+                 paperCount(c.featureTotal(Feature::BaseCost)),
+                 paperCount(c.featureTotal(Feature::BufferMgmt)),
+                 paperCount(
+                     c.featureTotal(Feature::InOrderDelivery)),
+                 paperCount(
+                     c.featureTotal(Feature::FaultTolerance)),
+                 paperCount(
+                     c.featureTotal(Feature::CompletionPoll)),
+                 paperCount(c.featureTotal(Feature::Registration)),
+                 paperCount(run.result.dispatchOps),
+                 I(c.paperTotal()), okCell(run.result.dataOk)});
+        }
         return rows;
     };
     return e;
@@ -1567,6 +1650,7 @@ registerBuiltins(ExperimentRegistry &reg)
     reg.add(makeC1());
     reg.add(makeP1());
     reg.add(makeP2());
+    reg.add(makeM1());
     reg.add(makeH1());
 }
 

@@ -3,14 +3,31 @@
  * Abstract routing-network interface.
  *
  * A Network moves packets between attached delivery sinks (the NIs).
- * The two concrete substrates differ exactly along the axes the paper
- * studies, summarized in NetFeatures:
+ * The concrete substrates differ exactly along the axes the paper
+ * studies — plus the modern-NIC capabilities the rdma/nicam family
+ * adds — summarized in NetFeatures:
+ *
+ *  substrate     | inOrder | reliable | acceptInd | zeroCopy | offload | complQ
+ *  ------------- | ------- | -------- | --------- | -------- | ------- | ------
+ *  Cm5Network    |   no    |    no    |    no     |    no    |   no    |  no
+ *  CrNetwork     |   yes   |   yes    |    yes    |    no    |   no    |  no
+ *  RdmaNetwork   |   yes   |   yes    |    yes    |   yes    |   no    |  yes
+ *  NicamNetwork  |   no    |    no    |    no     |    no    |   yes   |  no
  *
  *  - Cm5Network: arbitrary delivery order, finite buffering
  *    (backpressure), fault detection without correction;
  *  - CrNetwork: in-order delivery, deadlock freedom independent of
  *    packet acceptance (header rejection + hardware retransmission),
- *    packet-level fault tolerance (hardware retry).
+ *    packet-level fault tolerance (hardware retry);
+ *  - RdmaNetwork: CR-like guarantees per queue pair, plus zero-copy
+ *    DMA into registered regions and host-polled completion queues;
+ *  - NicamNetwork: CM-5-like unreliable/unordered fabric whose NIC
+ *    runs registered AM handlers itself (bounded on-NIC handler
+ *    table, host-dispatch fallback on miss).
+ *
+ * The model checker reads the first three bits (scheduling and fault
+ * choices); the last three are capability advertisements consumed by
+ * the host layers and the differential profiler.
  */
 
 #ifndef MSGSIM_NET_NETWORK_HH
@@ -42,6 +59,15 @@ struct NetFeatures
     /// Deadlock freedom does not depend on destinations accepting
     /// packets (CR: reject + hardware retransmit).
     bool acceptanceIndependent = false;
+    /// Payloads are DMA-ed into registered destination memory without
+    /// a host-instruction copy (rdma).
+    bool zeroCopy = false;
+    /// The NIC can execute registered AM handlers itself, bypassing
+    /// the host dispatch loop (nicam).
+    bool offloadDispatch = false;
+    /// Completions are reported through a host-polled completion
+    /// queue rather than status-register reads (rdma).
+    bool completionQueue = false;
 };
 
 /** Aggregate traffic statistics for a network instance. */

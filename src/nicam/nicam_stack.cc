@@ -1,0 +1,373 @@
+#include "nicam/nicam_stack.hh"
+
+#include <memory>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace msgsim
+{
+
+NicamStack::NicamStack(const NicamStackConfig &cfg) : cfg_(cfg)
+{
+    Machine::Config mc;
+    mc.nodes = cfg_.nodes;
+    mc.dataWords = cfg_.dataWords;
+    mc.memWords = cfg_.memWords;
+
+    NicamNetwork::Config nc;
+    nc.nodes = cfg_.nodes;
+    nc.maxOffloadEntries = cfg_.maxOffloadEntries;
+    nc.faults = cfg_.faults;
+    nc.injectGap = cfg_.injectGap;
+    nc.deliverGap = cfg_.deliverGap;
+    machine_ = std::make_unique<Machine>(
+        mc, [nc](Simulator &sim) {
+            return std::make_unique<NicamNetwork>(sim, nc);
+        });
+
+    layers_.reserve(cfg_.nodes);
+    for (std::uint32_t i = 0; i < cfg_.nodes; ++i)
+        layers_.push_back(std::make_unique<NicamLayer>(
+            machine_->node(i), net()));
+}
+
+NicamLayer &
+NicamStack::layer(NodeId id)
+{
+    if (id >= layers_.size())
+        msgsim_panic("nicam: node id ", id, " out of range");
+    return *layers_[id];
+}
+
+NicamNetwork &
+NicamStack::net()
+{
+    return static_cast<NicamNetwork &>(machine_->network());
+}
+
+namespace
+{
+
+void
+fill(Node &node, Addr buf, std::uint32_t words, std::uint64_t seed)
+{
+    for (std::uint32_t i = 0; i < words; ++i)
+        node.mem().write(buf + i, static_cast<Word>(splitMix64(seed)));
+}
+
+/** Event-mode probe loop: check a completion flag every @p gap. */
+void
+scheduleProbeLoop(NicamStack &stack, NodeId id, Addr flag,
+                  std::shared_ptr<bool> stop, Tick gap)
+{
+    stack.sim().schedule(gap, [&stack, id, flag, stop, gap] {
+        if (*stop)
+            return;
+        Node &nd = stack.node(id);
+        FeatureScope fs(nd.acct(), Feature::BaseCost);
+        if (stack.layer(id).probeFlag(flag)) {
+            *stop = true;
+            return;
+        }
+        scheduleProbeLoop(stack, id, flag, stop, gap);
+    });
+}
+
+} // namespace
+
+RunResult
+runNicamSingle(NicamStack &stack, const NicamRunParams &params)
+{
+    RunResult res;
+    const auto n = static_cast<std::uint32_t>(stack.dataWords());
+    Node &src = stack.node(params.src);
+    Node &dst = stack.node(params.dst);
+
+    const Addr dst_buf = dst.mem().alloc(n);
+    const Addr flag = dst.mem().alloc(1);
+    std::vector<Word> payload(n);
+    std::uint64_t sm = params.fillSeed;
+    for (auto &w : payload)
+        w = static_cast<Word>(splitMix64(sm));
+
+    // NIC-resident handler: place the args, raise the flag.  No host
+    // instructions at the destination until the completion probe.
+    const Word h = 5;
+    const bool offloaded = stack.layer(params.dst).installAmHandler(
+        h, [&dst, dst_buf, flag](NodeId, Word,
+                                 const std::vector<Word> &args) {
+            for (std::size_t i = 0; i < args.size(); ++i)
+                dst.mem().write(dst_buf + static_cast<Addr>(i),
+                                args[i]);
+            dst.mem().write(flag, 1);
+        });
+    if (!offloaded)
+        msgsim_panic("nicam single: handler table full");
+
+    const InstrCounter src_before = src.acct().counter();
+    const InstrCounter dst_before = dst.acct().counter();
+    const std::uint64_t dd0 =
+        stack.layer(params.dst).dispatchOps();
+    const Tick t0 = stack.sim().now();
+
+    {
+        FeatureScope fs(src.acct(), Feature::BaseCost);
+        stack.layer(params.src).amSend(params.dst, h, payload);
+    }
+    bool done = false;
+    if (!params.eventMode) {
+        stack.settle();
+        {
+            FeatureScope fs(dst.acct(), Feature::BaseCost);
+            done = stack.layer(params.dst).probeFlag(flag);
+        }
+    } else {
+        auto stopFlag = std::make_shared<bool>(false);
+        scheduleProbeLoop(stack, params.dst, flag, stopFlag, 8);
+        stack.sim().runUntil([&stopFlag] { return *stopFlag; },
+                             50'000'000);
+        stack.settle();
+        done = dst.mem().read(flag) != 0;
+    }
+
+    res.counts.src = src.acct().counter().diff(src_before);
+    res.counts.dst = dst.acct().counter().diff(dst_before);
+    res.dispatchOps =
+        stack.layer(params.dst).dispatchOps() - dd0;
+    res.elapsed = stack.sim().now() - t0;
+    res.packets = 1;
+    res.dataOk = done;
+    for (std::uint32_t i = 0; res.dataOk && i < n; ++i)
+        if (dst.mem().read(dst_buf + i) != payload[i])
+            res.dataOk = false;
+    return res;
+}
+
+RunResult
+runNicamAm4(NicamStack &stack, const NicamRunParams &params)
+{
+    RunResult res;
+    const auto n = static_cast<std::uint32_t>(stack.dataWords());
+    Node &src = stack.node(params.src);
+    Node &dst = stack.node(params.dst);
+
+    const Addr rep_buf = src.mem().alloc(n);
+    const Addr flag = src.mem().alloc(1);
+    std::vector<Word> args(n);
+    std::uint64_t sm = params.fillSeed;
+    for (auto &w : args)
+        w = static_cast<Word>(splitMix64(sm));
+
+    // Request handler runs on the destination NIC and injects the
+    // reply from there: the destination host never executes one
+    // instruction for this round trip.
+    const Word hReq = 5, hRep = 6;
+    NicamLayer &dstLayer = stack.layer(params.dst);
+    bool ok = dstLayer.installAmHandler(
+        hReq, [&stack, &dstLayer, hRep,
+               srcId = params.src](NodeId, Word,
+                                   const std::vector<Word> &a) {
+            std::vector<Word> reply(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i)
+                reply[i] = a[i] + 1;
+            dstLayer.nicInject(srcId, hRep, reply);
+            (void)stack;
+        });
+    ok = ok && stack.layer(params.src).installAmHandler(
+                   hRep, [&src, rep_buf, flag](
+                             NodeId, Word,
+                             const std::vector<Word> &a) {
+                       for (std::size_t i = 0; i < a.size(); ++i)
+                           src.mem().write(
+                               rep_buf + static_cast<Addr>(i), a[i]);
+                       src.mem().write(flag, 1);
+                   });
+    if (!ok)
+        msgsim_panic("nicam am4: handler table full");
+
+    const InstrCounter src_before = src.acct().counter();
+    const InstrCounter dst_before = dst.acct().counter();
+    const std::uint64_t dd0 =
+        stack.layer(params.dst).dispatchOps();
+    const Tick t0 = stack.sim().now();
+
+    {
+        FeatureScope fs(src.acct(), Feature::BaseCost);
+        stack.layer(params.src).amSend(params.dst, hReq, args);
+    }
+    bool done = false;
+    if (!params.eventMode) {
+        stack.settle();
+        {
+            FeatureScope fs(src.acct(), Feature::BaseCost);
+            done = stack.layer(params.src).probeFlag(flag);
+        }
+    } else {
+        auto stopFlag = std::make_shared<bool>(false);
+        scheduleProbeLoop(stack, params.src, flag, stopFlag, 8);
+        stack.sim().runUntil([&stopFlag] { return *stopFlag; },
+                             50'000'000);
+        stack.settle();
+        done = src.mem().read(flag) != 0;
+    }
+
+    res.counts.src = src.acct().counter().diff(src_before);
+    res.counts.dst = dst.acct().counter().diff(dst_before);
+    res.dispatchOps =
+        stack.layer(params.dst).dispatchOps() - dd0;
+    res.elapsed = stack.sim().now() - t0;
+    res.packets = 2;
+    res.dataOk = done;
+    for (std::uint32_t i = 0; res.dataOk && i < n; ++i)
+        if (src.mem().read(rep_buf + i) != args[i] + 1)
+            res.dataOk = false;
+    return res;
+}
+
+RunResult
+runNicamFinite(NicamStack &stack, const NicamRunParams &params)
+{
+    RunResult res;
+    const auto n = static_cast<std::uint32_t>(stack.dataWords());
+    Node &src = stack.node(params.src);
+    Node &dst = stack.node(params.dst);
+    if (params.words == 0 || params.words % n != 0)
+        msgsim_fatal("nicam finite transfer of ", params.words,
+                     " words: not a multiple of packet size ", n);
+
+    const Word sid = 3;
+    const Addr src_buf = src.mem().alloc(params.words);
+    const Addr dst_buf = dst.mem().alloc(params.words);
+    fill(src, src_buf, params.words, params.fillSeed);
+
+    const InstrCounter src_before = src.acct().counter();
+    const InstrCounter dst_before = dst.acct().counter();
+    const std::uint64_t dd0 =
+        stack.layer(params.dst).dispatchOps();
+    const Tick t0 = stack.sim().now();
+
+    {
+        FeatureScope fs(dst.acct(), Feature::BaseCost);
+        if (!stack.layer(params.dst).postXfer(sid, dst_buf,
+                                              params.words))
+            msgsim_panic("nicam finite: offload table full");
+    }
+    {
+        FeatureScope fs(src.acct(), Feature::BaseCost);
+        stack.layer(params.src).xferSend(params.dst, sid, src_buf,
+                                         params.words);
+    }
+    bool done = false;
+    if (!params.eventMode) {
+        stack.settle();
+        {
+            FeatureScope fs(dst.acct(), Feature::BaseCost);
+            done = stack.layer(params.dst).xferDone(sid);
+        }
+    } else {
+        auto stopFlag = std::make_shared<bool>(false);
+        scheduleProbeLoop(stack, params.dst,
+                          stack.layer(params.dst).xferFlagAddr(sid),
+                          stopFlag, 8);
+        stack.sim().runUntil([&stopFlag] { return *stopFlag; },
+                             50'000'000);
+        stack.settle();
+        done = dst.mem().read(
+                   stack.layer(params.dst).xferFlagAddr(sid)) != 0;
+    }
+
+    res.counts.src = src.acct().counter().diff(src_before);
+    res.counts.dst = dst.acct().counter().diff(dst_before);
+    res.dispatchOps =
+        stack.layer(params.dst).dispatchOps() - dd0;
+    res.elapsed = stack.sim().now() - t0;
+    res.packets = params.words / n;
+    res.dataOk = done;
+    for (std::uint32_t i = 0; res.dataOk && i < params.words; ++i)
+        if (dst.mem().read(dst_buf + i) != src.mem().read(src_buf + i))
+            res.dataOk = false;
+    return res;
+}
+
+RunResult
+runNicamStream(NicamStack &stack, const NicamRunParams &params)
+{
+    RunResult res;
+    const auto n = static_cast<std::uint32_t>(stack.dataWords());
+    Node &src = stack.node(params.src);
+    Node &dst = stack.node(params.dst);
+    if (params.words == 0 || params.words % n != 0)
+        msgsim_fatal("nicam stream of ", params.words,
+                     " words: not a multiple of packet size ", n);
+    const std::uint32_t messages = params.words / n;
+
+    const Word chan = 7;
+    const Addr src_buf = src.mem().alloc(params.words);
+    const Addr ring = dst.mem().alloc(params.words);
+    fill(src, src_buf, params.words, params.fillSeed);
+    if (!stack.layer(params.dst).openStream(chan, ring, messages))
+        msgsim_panic("nicam stream: offload table full");
+
+    std::vector<Word> received;
+
+    const InstrCounter src_before = src.acct().counter();
+    const InstrCounter dst_before = dst.acct().counter();
+    const std::uint64_t dd0 =
+        stack.layer(params.dst).dispatchOps();
+    const Tick t0 = stack.sim().now();
+
+    {
+        FeatureScope fs(src.acct(), Feature::BaseCost);
+        for (std::uint32_t m = 0; m < messages; ++m) {
+            std::vector<Word> pkt(n);
+            for (std::uint32_t i = 0; i < n; ++i)
+                pkt[i] = src.mem().read(src_buf + m * n + i);
+            stack.layer(params.src).streamSend(params.dst, chan, pkt);
+        }
+    }
+    if (!params.eventMode) {
+        stack.settle();
+        {
+            FeatureScope fs(dst.acct(), Feature::BaseCost);
+            stack.layer(params.dst).streamHarvest(chan, received);
+        }
+    } else {
+        auto stopFlag = std::make_shared<bool>(false);
+        // Harvest from the simulated clock until all messages landed.
+        std::function<void()> loop = [&stack, &received, &loop,
+                                      stopFlag, chan,
+                                      id = params.dst, messages] {
+            if (*stopFlag)
+                return;
+            Node &nd = stack.node(id);
+            FeatureScope fs(nd.acct(), Feature::BaseCost);
+            stack.layer(id).streamHarvest(chan, received);
+            if (received.size() >=
+                static_cast<std::size_t>(messages) *
+                    static_cast<std::size_t>(stack.dataWords())) {
+                *stopFlag = true;
+                return;
+            }
+            stack.sim().schedule(8, loop);
+        };
+        stack.sim().schedule(8, loop);
+        stack.sim().runUntil([&stopFlag] { return *stopFlag; },
+                             50'000'000);
+        stack.settle();
+    }
+
+    res.counts.src = src.acct().counter().diff(src_before);
+    res.counts.dst = dst.acct().counter().diff(dst_before);
+    res.dispatchOps =
+        stack.layer(params.dst).dispatchOps() - dd0;
+    res.elapsed = stack.sim().now() - t0;
+    res.packets = messages;
+    res.dataOk = received.size() == params.words;
+    for (std::uint32_t i = 0; res.dataOk && i < params.words; ++i)
+        if (received[i] != src.mem().read(src_buf + i))
+            res.dataOk = false;
+    return res;
+}
+
+} // namespace msgsim

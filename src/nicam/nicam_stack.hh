@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Stack builder for the NIC-offloaded AM substrate: a NicamNetwork
+ * machine with one NicamLayer per node, plus drivers for the paper's
+ * four protocols with receive-side work offloaded to the NIC.
+ */
+
+#ifndef MSGSIM_NICAM_NICAM_STACK_HH
+#define MSGSIM_NICAM_NICAM_STACK_HH
+
+#include <memory>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "nicam/nicam_layer.hh"
+#include "nicam/nicam_network.hh"
+#include "protocols/result.hh"
+
+namespace msgsim
+{
+
+/** Configuration of the nicam stack. */
+struct NicamStackConfig
+{
+    std::uint32_t nodes = 4;
+    int dataWords = 4;
+    std::size_t memWords = 1u << 20;
+    int maxOffloadEntries = 8;
+    FaultInjector::Config faults;
+    Tick injectGap = 0; ///< link bandwidth: source spacing
+    Tick deliverGap = 0; ///< link bandwidth: dest spacing
+};
+
+/**
+ * Nicam machine + per-node host layer.
+ */
+class NicamStack
+{
+  public:
+    explicit NicamStack(const NicamStackConfig &cfg);
+
+    Machine &machine() { return *machine_; }
+    Simulator &sim() { return machine_->sim(); }
+    int dataWords() const { return cfg_.dataWords; }
+    Node &node(NodeId id) { return machine_->node(id); }
+    NicamLayer &layer(NodeId id);
+    NicamNetwork &net();
+    void settle() { machine_->settle(); }
+
+  private:
+    NicamStackConfig cfg_;
+    std::unique_ptr<Machine> machine_;
+    std::vector<std::unique_ptr<NicamLayer>> layers_;
+};
+
+/** Parameters shared by the nicam protocol drivers. */
+struct NicamRunParams
+{
+    NodeId src = 0;
+    NodeId dst = 1;
+    std::uint32_t words = 16;          ///< finite/stream payload
+    std::uint64_t fillSeed = 0x0ff'10adULL;
+    bool eventMode = false;
+};
+
+/** Protocol 1: one AM dispatched on the destination NIC. */
+RunResult runNicamSingle(NicamStack &stack,
+                         const NicamRunParams &params);
+
+/** Protocol 2: request + reply, both handled entirely on-NIC. */
+RunResult runNicamAm4(NicamStack &stack, const NicamRunParams &params);
+
+/** Protocol 3: finite transfer placed by the NIC offload engine. */
+RunResult runNicamFinite(NicamStack &stack,
+                         const NicamRunParams &params);
+
+/** Protocol 4: stream reordered on-NIC, harvested from a host ring. */
+RunResult runNicamStream(NicamStack &stack,
+                         const NicamRunParams &params);
+
+} // namespace msgsim
+
+#endif // MSGSIM_NICAM_NICAM_STACK_HH

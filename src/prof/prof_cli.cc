@@ -25,6 +25,8 @@ parseArgs(int &argc, char **argv)
             opts.protocol = v;
         } else if (match(argv[i], "--substrate=", &v)) {
             opts.substrate = v;
+        } else if (std::strcmp(argv[i], "--baseline") == 0) {
+            opts.baselineBare = true;
         } else if (match(argv[i], "--baseline=", &v)) {
             opts.baseline = v;
         } else if (match(argv[i], "--words=", &v)) {
@@ -58,6 +60,14 @@ parseSubstrate(const std::string &name, Substrate &out)
     }
     if (name == "cr") {
         out = Substrate::Cr;
+        return true;
+    }
+    if (name == "rdma") {
+        out = Substrate::Rdma;
+        return true;
+    }
+    if (name == "nicam") {
+        out = Substrate::Nicam;
         return true;
     }
     return false;

@@ -12,11 +12,15 @@
  *
  * Recognized flags:
  *
- *     --protocol=<single|xfer|stream>   what to run (default xfer)
- *     --substrate=<cm5|cr>              primary substrate (cm5)
- *     --baseline=<cm5|cr>               run a second time on this
+ *     --protocol=<single|am4|xfer|stream>  what to run (default xfer)
+ *     --substrate=<cm5|cr|rdma|nicam>   primary substrate (cm5)
+ *     --baseline=<cm5|cr|rdma|nicam>    run a second time on this
  *                                       substrate and emit the
  *                                       differential table
+ *     --baseline                        bare form: diff cm5 against
+ *                                       the --substrate run (the
+ *                                       substrate × feature matrix
+ *                                       column for that substrate)
  *     --words=<n>                       transfer volume (64)
  *     --nodes=<n>                       machine size (4)
  *     --group-ack=<g>                   stream ack grouping (1)
@@ -41,7 +45,8 @@ struct CliOptions
 {
     std::string protocol = "xfer";
     std::string substrate = "cm5";
-    std::string baseline; ///< empty = no differential
+    std::string baseline;     ///< empty = no differential
+    bool baselineBare = false; ///< bare --baseline: cm5 vs --substrate
     std::uint32_t words = 64;
     std::uint32_t nodes = 4;
     int groupAck = 1;

@@ -8,9 +8,16 @@
  * prints the paper's headline comparison: the buffer-management,
  * in-order-delivery and fault-tolerance instruction counts of the
  * finite-sequence transfer vanish on the CR substrate while the
- * base cost stays put.  Composes with the observability flags
- * (--trace-out / --metrics-out): the traced timeline of the primary
- * run gains per-packet lineage flow arrows.
+ * base cost stays put.  The bare flag form
+ *
+ *     msgsim-prof --substrate=rdma --baseline
+ *
+ * diffs the cm5 run against the named modern substrate — one column
+ * of the substrate × feature matrix, with the completion-poll,
+ * registration and host-dispatch rows the classic table lacks.
+ * Composes with the observability flags (--trace-out /
+ * --metrics-out): the traced timeline of the primary run gains
+ * per-packet lineage flow arrows.
  */
 
 #include <cstdio>
@@ -29,8 +36,10 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: msgsim-prof [--protocol=single|xfer|stream]\n"
-        "                   [--substrate=cm5|cr] [--baseline=cm5|cr]\n"
+        "usage: msgsim-prof [--protocol=single|am4|xfer|stream]\n"
+        "                   [--substrate=cm5|cr|rdma|nicam]\n"
+        "                   [--baseline=cm5|cr|rdma|nicam]\n"
+        "                   [--baseline]  (bare: cm5 vs --substrate)\n"
         "                   [--words=N] [--nodes=N] [--group-ack=G]\n"
         "                   [--flame-out=F] [--waterfall-out=F]\n"
         "                   [--json-out=F] [--trace-out=F]\n"
@@ -83,6 +92,14 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    if (cli.baselineBare) {
+        // Bare --baseline: the classic cm5 column is the primary and
+        // the named substrate the baseline, so its saved overheads
+        // read "vanishes" and its new costs read "appears".
+        baselineSub = primarySub;
+        primarySub = Substrate::Cm5;
+    }
+    const bool wantDiff = cli.baselineBare || !cli.baseline.empty();
 
     obs::Scope scope(obsOpts);
 
@@ -118,7 +135,7 @@ main(int argc, char **argv)
              ok;
 
     Json report = Json::object();
-    if (!cli.baseline.empty()) {
+    if (wantDiff) {
         // The baseline run gets a private timeline so the
         // --trace-out artifact stays a single-run trace.
         if (scope.tracing())

@@ -4,23 +4,75 @@
 #include <memory>
 
 #include "hlam/hl_stack.hh"
+#include "nicam/nicam_stack.hh"
 #include "prof/profiler.hh"
 #include "protocols/finite_xfer.hh"
+#include "protocols/rpc.hh"
 #include "protocols/single_packet.hh"
 #include "protocols/stream.hh"
+#include "rdmanet/rdma_stack.hh"
 #include "sim/log.hh"
 #include "sim/trace_session.hh"
 
 namespace msgsim::prof
 {
 
+namespace
+{
+
+/**
+ * The am4 round trip on the CMAM stack: one RPC call (request +
+ * reply, both single packets), handler adds one to each word.
+ */
+RunResult
+runAm4Round(Stack &stack)
+{
+    RunResult res;
+    Node &src = stack.node(0);
+    Node &dst = stack.node(1);
+
+    RpcEngine rpc(stack);
+    const Word proc = 3;
+    rpc.registerProcedure(
+        1, proc, [](NodeId, const std::vector<Word> &req) {
+            std::vector<Word> rep(req);
+            for (Word &w : rep)
+                w += 1;
+            return rep;
+        });
+
+    const InstrCounter src_before = src.acct().counter();
+    const InstrCounter dst_before = dst.acct().counter();
+    const std::uint64_t dd0 = stack.cmam(1).dispatchOps();
+    const Tick t0 = stack.sim().now();
+
+    const std::vector<Word> request{11, 22};
+    const std::vector<Word> reply =
+        rpc.callSync(0, 1, proc, request);
+
+    res.counts.src = src.acct().counter().diff(src_before);
+    res.counts.dst = dst.acct().counter().diff(dst_before);
+    res.dispatchOps = stack.cmam(1).dispatchOps() - dd0;
+    res.elapsed = stack.sim().now() - t0;
+    res.packets = 2;
+    // The reply packet pads its payload to the fixed packet size;
+    // only the request-length prefix is meaningful.
+    res.dataOk = reply.size() >= request.size();
+    for (std::size_t i = 0; res.dataOk && i < request.size(); ++i)
+        if (reply[i] != request[i] + 1)
+            res.dataOk = false;
+    return res;
+}
+
+} // namespace
+
 ProfRun
 runProfiled(const ProfConfig &cfg)
 {
-    if (cfg.protocol != "single" && cfg.protocol != "xfer" &&
-        cfg.protocol != "stream")
+    if (cfg.protocol != "single" && cfg.protocol != "am4" &&
+        cfg.protocol != "xfer" && cfg.protocol != "stream")
         msgsim_fatal("unknown protocol '", cfg.protocol,
-                     "' (single | xfer | stream)");
+                     "' (single | am4 | xfer | stream)");
 
     // Fold spans and flows into the caller's timeline when one is
     // attached; otherwise attach a private session for the run.
@@ -40,11 +92,51 @@ runProfiled(const ProfConfig &cfg)
     }
 
     ProfRun out;
-    // The CMAM layer runs both substrates; the high-level layer is
-    // the Section-4 counterpart for the multi-packet protocols.
+    // The CMAM layer runs both classic substrates; the high-level
+    // layer is the Section-4 counterpart for the multi-packet
+    // protocols; the modern substrates bring their own stacks.
     const bool hlRun = cfg.substrate == Substrate::Cr &&
-                       cfg.protocol != "single";
-    if (hlRun) {
+                       (cfg.protocol == "xfer" ||
+                        cfg.protocol == "stream");
+    if (cfg.substrate == Substrate::Rdma) {
+        RdmaStackConfig sc;
+        sc.nodes = cfg.nodes;
+        sc.dataWords = cfg.dataWords;
+        RdmaStack stack(sc);
+        if (ts)
+            ts->bindClock(&stack.sim());
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            profiler.bindNode(n, &stack.node(n).proc().acct());
+        RdmaRunParams p;
+        p.words = cfg.words;
+        if (cfg.protocol == "single")
+            out.result = runRdmaSingle(stack, p);
+        else if (cfg.protocol == "am4")
+            out.result = runRdmaAm4(stack, p);
+        else if (cfg.protocol == "xfer")
+            out.result = runRdmaFinite(stack, p);
+        else
+            out.result = runRdmaStream(stack, p);
+    } else if (cfg.substrate == Substrate::Nicam) {
+        NicamStackConfig sc;
+        sc.nodes = cfg.nodes;
+        sc.dataWords = cfg.dataWords;
+        NicamStack stack(sc);
+        if (ts)
+            ts->bindClock(&stack.sim());
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            profiler.bindNode(n, &stack.node(n).proc().acct());
+        NicamRunParams p;
+        p.words = cfg.words;
+        if (cfg.protocol == "single")
+            out.result = runNicamSingle(stack, p);
+        else if (cfg.protocol == "am4")
+            out.result = runNicamAm4(stack, p);
+        else if (cfg.protocol == "xfer")
+            out.result = runNicamFinite(stack, p);
+        else
+            out.result = runNicamStream(stack, p);
+    } else if (hlRun) {
         HlStackConfig sc;
         sc.nodes = cfg.nodes;
         sc.dataWords = cfg.dataWords;
@@ -62,6 +154,7 @@ runProfiled(const ProfConfig &cfg)
             p.words = cfg.words;
             out.result = runHlStream(stack, p);
         }
+        out.result.dispatchOps = stack.hl(1).dispatchOps();
     } else {
         StackConfig sc;
         sc.substrate = cfg.substrate;
@@ -74,17 +167,22 @@ runProfiled(const ProfConfig &cfg)
             profiler.bindNode(n, &stack.node(n).proc().acct());
         if (cfg.protocol == "single") {
             out.result = runSinglePacket(stack, SinglePacketParams{});
+            out.result.dispatchOps = stack.cmam(1).dispatchOps();
+        } else if (cfg.protocol == "am4") {
+            out.result = runAm4Round(stack);
         } else if (cfg.protocol == "xfer") {
             FiniteXfer fx(stack);
             FiniteXferParams p;
             p.words = cfg.words;
             out.result = fx.run(p);
+            out.result.dispatchOps = stack.cmam(1).dispatchOps();
         } else {
             StreamProtocol sp(stack);
             StreamParams p;
             p.words = cfg.words;
             p.groupAck = cfg.groupAck;
             out.result = sp.run(p);
+            out.result.dispatchOps = stack.cmam(1).dispatchOps();
         }
     }
 
@@ -112,31 +210,49 @@ differential(const ProfConfig &primaryCfg, const ProfRun &primary,
     d.primaryTotal = primary.result.counts.paperTotal();
     d.baselineTotal = baseline.result.counts.paperTotal();
 
-    static const Feature feats[] = {
+    auto isModern = [](Substrate s) {
+        return s == Substrate::Rdma || s == Substrate::Nicam;
+    };
+    d.modern = isModern(primaryCfg.substrate) ||
+               isModern(baselineCfg.substrate);
+
+    auto statusOf = [](std::uint64_t p, std::uint64_t b) {
+        if (p == 0 && b == 0)
+            return std::string("unchanged");
+        if (b * 10 <= p)
+            return std::string("vanishes");
+        if ((b > p ? b - p : p - b) * 10 <= p)
+            return std::string("unchanged");
+        if (p * 10 <= b)
+            return std::string("appears");
+        return std::string(b < p ? "reduced" : "increased");
+    };
+
+    std::vector<Feature> feats = {
         Feature::BaseCost,
         Feature::BufferMgmt,
         Feature::InOrderDelivery,
         Feature::FaultTolerance,
     };
+    if (d.modern) {
+        // The costs 2020s hardware charges instead: harvesting the
+        // completion queue and registering memory with the NIC.
+        feats.push_back(Feature::CompletionPoll);
+        feats.push_back(Feature::Registration);
+    }
     for (Feature feat : feats) {
         DiffRow row;
         row.feature = feat;
         row.primary = primary.result.counts.featureTotal(feat);
         row.baseline = baseline.result.counts.featureTotal(feat);
-        if (row.primary == 0 && row.baseline == 0)
-            row.status = "unchanged";
-        else if (row.baseline * 10 <= row.primary)
-            row.status = "vanishes";
-        else if ((row.baseline > row.primary
-                      ? row.baseline - row.primary
-                      : row.primary - row.baseline) *
-                     10 <=
-                 row.primary)
-            row.status = "unchanged";
-        else
-            row.status =
-                row.baseline < row.primary ? "reduced" : "increased";
+        row.status = statusOf(row.primary, row.baseline);
         d.rows.push_back(std::move(row));
+    }
+    if (d.modern) {
+        d.primaryDispatch = primary.result.dispatchOps;
+        d.baselineDispatch = baseline.result.dispatchOps;
+        d.dispatchStatus =
+            statusOf(d.primaryDispatch, d.baselineDispatch);
     }
     return d;
 }
@@ -165,6 +281,18 @@ Differential::markdown() const
                       static_cast<unsigned long long>(row.primary),
                       static_cast<unsigned long long>(row.baseline),
                       delta, row.status.c_str());
+        out += line;
+    }
+    if (modern) {
+        const long long ddelta =
+            static_cast<long long>(baselineDispatch) -
+            static_cast<long long>(primaryDispatch);
+        std::snprintf(
+            line, sizeof(line),
+            "| dispatch (host) | %llu | %llu | %+lld | %s |\n",
+            static_cast<unsigned long long>(primaryDispatch),
+            static_cast<unsigned long long>(baselineDispatch), ddelta,
+            dispatchStatus.c_str());
         out += line;
     }
     const long long tdelta = static_cast<long long>(baselineTotal) -
@@ -204,6 +332,13 @@ Differential::toJson() const
         features.push(std::move(j));
     }
     doc.set("features", std::move(features));
+    if (modern) {
+        Json j = Json::object();
+        j.set("primary", primaryDispatch);
+        j.set("baseline", baselineDispatch);
+        j.set("status", dispatchStatus);
+        doc.set("dispatch_ops", std::move(j));
+    }
     return doc;
 }
 

@@ -16,6 +16,14 @@
  * in software) and on the CR substrate (the hardware provides them),
  * and watch three of the four feature rows vanish while the base
  * cost stays put (Sections 3-4, Tables 2/3).
+ *
+ * The modern substrates extend the two-column table into a
+ * substrate × feature matrix: on rdma the 1994 overheads vanish but
+ * completion-poll and registration rows appear; on nicam the host's
+ * dispatch instructions (tracked by the layers' dispatchOps()
+ * mirrors) move into the NIC.  The extra rows are emitted only when
+ * a modern substrate is on either side, so the classic cm5-vs-cr
+ * artifacts are byte-identical to before.
  */
 
 #ifndef MSGSIM_PROF_PROFILE_HH
@@ -36,7 +44,7 @@ namespace msgsim::prof
 /** What to run and where. */
 struct ProfConfig
 {
-    std::string protocol = "xfer"; ///< single | xfer | stream
+    std::string protocol = "xfer"; ///< single | am4 | xfer | stream
     Substrate substrate = Substrate::Cm5;
     std::uint32_t nodes = 4;
     int dataWords = 4;
@@ -74,7 +82,7 @@ struct DiffRow
     Feature feature = Feature::BaseCost;
     std::uint64_t primary = 0;  ///< instructions, primary run
     std::uint64_t baseline = 0; ///< instructions, baseline run
-    /// vanishes | unchanged | reduced | increased
+    /// vanishes | unchanged | reduced | increased | appears
     std::string status;
 };
 
@@ -83,9 +91,17 @@ struct Differential
 {
     ProfConfig primaryCfg;
     ProfConfig baselineCfg;
-    std::vector<DiffRow> rows; ///< the four paper features
+    /// The four paper features; plus completion-poll and
+    /// registration when a modern substrate is on either side.
+    std::vector<DiffRow> rows;
     std::uint64_t primaryTotal = 0;
     std::uint64_t baselineTotal = 0;
+    /// True when rdma/nicam is on either side: the extra feature
+    /// rows and the host-dispatch row are emitted.
+    bool modern = false;
+    std::uint64_t primaryDispatch = 0;  ///< host dispatchOps, primary
+    std::uint64_t baselineDispatch = 0; ///< host dispatchOps, baseline
+    std::string dispatchStatus;         ///< same vocabulary as rows
 
     /** Render as a markdown table. */
     std::string markdown() const;
@@ -97,6 +113,7 @@ struct Differential
 /**
  * Diff two runs per feature.  Status thresholds: "vanishes" when the
  * baseline keeps at most 10% of the primary's instructions,
+ * "appears" when the primary had at most 10% of the baseline's,
  * "unchanged" within +/-10%, otherwise "reduced" / "increased".
  */
 Differential differential(const ProfConfig &primaryCfg,

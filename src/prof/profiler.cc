@@ -14,6 +14,8 @@ featureSlug(Feature feat)
       case Feature::InOrderDelivery: return "in_order";
       case Feature::FaultTolerance:  return "fault_tol";
       case Feature::Idle:            return "idle";
+      case Feature::CompletionPoll:  return "completion_poll";
+      case Feature::Registration:    return "registration";
       default:                       return "?";
     }
 }

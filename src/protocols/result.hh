@@ -25,6 +25,11 @@ struct RunResult
     Tick elapsed = 0;        ///< simulated time of the whole exchange
 
     std::uint64_t packets = 0;         ///< data packets sent (first try)
+    /// Host instructions spent on handler dispatch (poll linkage,
+    /// status decode, handler linkage) — diagnostic mirror of the
+    /// layer's dispatchOps() counters; zero on substrates that
+    /// dispatch in the NIC.
+    std::uint64_t dispatchOps = 0;
     std::uint64_t oooArrivals = 0;     ///< packets buffered out of order
     std::uint64_t acksSent = 0;        ///< acknowledgement packets
     std::uint64_t retransmissions = 0; ///< software retransmissions

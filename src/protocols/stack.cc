@@ -9,9 +9,11 @@ const char *
 toString(Substrate s)
 {
     switch (s) {
-      case Substrate::Cm5: return "cm5";
-      case Substrate::Cr:  return "cr";
-      default:             return "?";
+      case Substrate::Cm5:   return "cm5";
+      case Substrate::Cr:    return "cr";
+      case Substrate::Rdma:  return "rdma";
+      case Substrate::Nicam: return "nicam";
+      default:               return "?";
     }
 }
 
@@ -47,7 +49,7 @@ Stack::Stack(const StackConfig &cfg) : cfg_(cfg)
         factory = [nc](Simulator &sim) {
             return std::make_unique<Cm5Network>(sim, nc);
         };
-    } else {
+    } else if (cfg_.substrate == Substrate::Cr) {
         CrNetwork::Config nc;
         nc.nodes = cfg_.nodes;
         nc.faults = cfg_.faults;
@@ -55,6 +57,34 @@ Stack::Stack(const StackConfig &cfg) : cfg_(cfg)
         nc.deliverGap = cfg_.deliverGap;
         factory = [nc](Simulator &sim) {
             return std::make_unique<CrNetwork>(sim, nc);
+        };
+    } else if (cfg_.substrate == Substrate::Rdma) {
+        // CMAM over the RDMA fabric: the model checker drives the
+        // NI sink directly, exercising per-QP in-order reliable
+        // delivery underneath unchanged software.
+        RdmaNetwork::Config nc;
+        nc.nodes = cfg_.nodes;
+        nc.faults = cfg_.faults;
+        nc.injectGap = cfg_.injectGap;
+        nc.deliverGap = cfg_.deliverGap;
+        factory = [nc](Simulator &sim) {
+            return std::make_unique<RdmaNetwork>(sim, nc);
+        };
+    } else {
+        // CMAM over the nicam fabric with an empty handler table:
+        // every packet misses to the host, so software-recovery
+        // exploration (drop/duplicate choices) still applies.
+        NicamNetwork::Config nc;
+        nc.nodes = cfg_.nodes;
+        nc.orderFactory = cfg_.order ? cfg_.order : fifoOrderFactory();
+        nc.faults = cfg_.faults;
+        nc.maxJitter = cfg_.maxJitter;
+        nc.injectBusyRate = cfg_.injectBusyRate;
+        nc.seed = cfg_.seed;
+        nc.injectGap = cfg_.injectGap;
+        nc.deliverGap = cfg_.deliverGap;
+        factory = [nc](Simulator &sim) {
+            return std::make_unique<NicamNetwork>(sim, nc);
         };
     }
 

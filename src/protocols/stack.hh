@@ -15,6 +15,8 @@
 #include "cmam/cmam.hh"
 #include "crnet/cr_network.hh"
 #include "machine/machine.hh"
+#include "nicam/nicam_network.hh"
+#include "rdmanet/rdma_network.hh"
 
 namespace msgsim
 {
@@ -22,8 +24,10 @@ namespace msgsim
 /** Which routing substrate the stack runs on. */
 enum class Substrate
 {
-    Cm5, ///< out-of-order, finite-buffered, detection-only
-    Cr,  ///< in-order, reliable, acceptance-independent
+    Cm5,   ///< out-of-order, finite-buffered, detection-only
+    Cr,    ///< in-order, reliable, acceptance-independent
+    Rdma,  ///< verbs fabric: reliable, per-QP in-order, zero-copy
+    Nicam, ///< CM-5 fabric with an on-NIC handler table
 };
 
 /** Printable name of a substrate. */

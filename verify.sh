@@ -98,6 +98,17 @@ check_model_checker() {
     "$chk" --protocol=stream --packets=3 --faults=1 --depth=8 --quiet
     "$chk" --protocol=socket --packets=3 --faults=1 --depth=6 --quiet
 
+    # ... including on the modern substrates: rdma constrains the
+    # schedule space to reliable in-order interleavings (the QP
+    # guarantee), nicam keeps the full CM-5 drop/duplicate space and
+    # software recovery must still be exactly-once.
+    "$chk" --protocol=single_packet --substrate=rdma --packets=4 \
+        --depth=12 --quiet
+    "$chk" --protocol=single_packet --substrate=nicam --packets=3 \
+        --faults=1 --fault-kinds=5 --depth=12 --quiet
+    "$chk" --protocol=stream --substrate=nicam --packets=3 \
+        --faults=1 --depth=8 --quiet
+
     # ... the report must be byte-deterministic ...
     "$chk" --protocol=stream --packets=3 --faults=2 --depth=5 \
         --walks=50 --seed=7 --quiet --json-out="$tmpdir/a.json"
@@ -148,6 +159,37 @@ check_prof() {
         --json-out="$tmpdir/diff.json" > /dev/null
     cmp "$tmpdir/diff.json" \
         "$repo_dir/tests/golden/prof_differential.json"
+
+    # The modern columns of the substrate x feature matrix: on rdma
+    # the 1994 overheads vanish while completion-poll and
+    # registration appear; on nicam the host dispatch bill vanishes.
+    "$prof" --protocol=xfer --substrate=rdma --baseline \
+        --json-out="$tmpdir/rdma.json" > /dev/null
+    "$prof" --protocol=xfer --substrate=nicam --baseline \
+        --json-out="$tmpdir/nicam.json" > /dev/null
+    python3 - "$tmpdir/rdma.json" "$tmpdir/nicam.json" <<'EOF'
+import json, sys
+
+rdma = json.load(open(sys.argv[1]))
+feats = {f["feature"]: f for f in rdma["features"]}
+assert feats["buffer_mgmt"]["status"] == "vanishes", feats
+assert feats["in_order"]["status"] == "vanishes", feats
+assert feats["completion_poll"]["status"] == "appears", feats
+assert feats["registration"]["status"] == "appears", feats
+assert feats["completion_poll"]["baseline"] > 0, feats
+assert feats["registration"]["baseline"] > 0, feats
+
+nicam = json.load(open(sys.argv[2]))
+disp = nicam["dispatch_ops"]
+assert disp["primary"] > 0 and disp["baseline"] == 0, disp
+assert disp["status"] == "vanishes", disp
+
+print("matrix ok: rdma columns appear, nicam dispatch vanishes")
+EOF
+
+    # The full 4-substrate x 4-protocol matrix is pinned as the M1
+    # golden (byte-deterministic instruction counts).
+    (cd "$repo_dir" && "$lab" M1 --check-golden --quiet)
 
     # Refresh the perf trajectory: P1 now times the profiled
     # comparison as its fifth wall-clock point.
