@@ -39,8 +39,8 @@ usage(std::FILE *out)
         "usage: msgsim-check [options]\n"
         "\n"
         "scenario:\n"
-        "  --protocol=P       single_packet | finite_xfer | stream |\n"
-        "                     socket (default stream)\n"
+        "  --protocol=P       single_packet | incast | finite_xfer |\n"
+        "                     stream | socket (default stream)\n"
         "  --substrate=S      cm5 | cr | rdma | nicam (default cm5)\n"
         "  --nodes=N          nodes in the machine (default 2)\n"
         "  --packets=N        messages / data packets sent (default 3)\n"
@@ -161,6 +161,7 @@ parseCli(int argc, char **argv, CliOptions &cli)
         }
     }
     if (cli.scenario.protocol != "single_packet" &&
+        cli.scenario.protocol != "incast" &&
         cli.scenario.protocol != "finite_xfer" &&
         cli.scenario.protocol != "stream" &&
         cli.scenario.protocol != "socket") {

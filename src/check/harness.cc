@@ -155,6 +155,122 @@ class SinglePacketScenario : public ScenarioHarness
 };
 
 // ----------------------------------------------------------------
+// Incast: every non-zero node fires `packets` active messages at
+// node 0 — the datacenter fan-in storm as a checked scenario.  Like
+// single_packet the specification is fault-aware (exactly-once
+// among the surviving copies), plus per-source monotonic delivery
+// on an in-order substrate: fan-in may interleave sources freely,
+// but no fabric may reorder any one of them.
+// ----------------------------------------------------------------
+class IncastScenario : public ScenarioHarness
+{
+  public:
+    explicit IncastScenario(const ScenarioConfig &cfg)
+        : ScenarioHarness(cfg)
+    {
+        for (NodeId id = 0; id < stack_->machine().nodeCount(); ++id)
+            handler_ = stack_->cmam(id).registerHandler(
+                [this](NodeId src, const std::vector<Word> &args) {
+                    delivered_.emplace_back(
+                        src, args.empty() ? 0 : args[0]);
+                });
+        controller_->setDecisionHook(
+            [this](const Choice &c, const Packet &pkt) {
+                if (pkt.tag != HwTag::UserAm || pkt.data.empty())
+                    return;
+                if (c.kind == ChoiceKind::Drop ||
+                    c.kind == ChoiceKind::Corrupt)
+                    --expected_[pkt.data[0]];
+                else if (c.kind == ChoiceKind::Duplicate)
+                    ++expected_[pkt.data[0]];
+            });
+    }
+
+    void
+    start() override
+    {
+        const std::uint32_t n = stack_->machine().nodeCount();
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i) {
+            for (NodeId src = 1; src < n; ++src) {
+                const Word value =
+                    (static_cast<Word>(src) << 16) | i;
+                expected_[value] = 1;
+                Node &nd = stack_->node(src);
+                FeatureScope fs(nd.acct(), Feature::BaseCost);
+                stack_->cmam(src).am4(0, handler_, {value, i, 0, 0});
+            }
+        }
+    }
+
+    bool
+    done() const override
+    {
+        std::uint64_t want = 0;
+        for (const auto &[value, count] : expected_)
+            if (count > 0)
+                want += static_cast<std::uint64_t>(count);
+        return delivered_.size() == want;
+    }
+
+    std::string
+    protocolInvariant() const override
+    {
+        std::map<Word, int> seen;
+        for (const auto &[src, v] : delivered_)
+            ++seen[v];
+        for (const auto &[value, count] : seen) {
+            auto it = expected_.find(value);
+            const int want = it == expected_.end()
+                                 ? 0
+                                 : std::max(0, it->second);
+            if (count > want) {
+                std::ostringstream os;
+                os << "value " << std::hex << value << std::dec
+                   << " delivered " << count << "x, expected "
+                   << want;
+                return os.str();
+            }
+        }
+        if (stack_->network().features().inOrderDelivery) {
+            std::map<NodeId, Word> last;
+            for (const auto &[src, v] : delivered_) {
+                auto it = last.find(src);
+                if (it != last.end() && v < it->second) {
+                    std::ostringstream os;
+                    os << "in-order substrate reordered source "
+                       << src << "'s fan-in stream";
+                    return os.str();
+                }
+                last[src] = std::max(
+                    it == last.end() ? v : it->second, v);
+            }
+        }
+        return "";
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        const std::string step = protocolInvariant();
+        if (!step.empty())
+            return step;
+        if (!done()) {
+            std::ostringstream os;
+            os << "only " << delivered_.size()
+               << " of the surviving fan-in messages were delivered";
+            return os.str();
+        }
+        return "";
+    }
+
+  private:
+    int handler_ = 0;
+    /// (source, value) in delivery order at the sink.
+    std::vector<std::pair<NodeId, Word>> delivered_;
+    std::map<Word, int> expected_; ///< per-value surviving copies
+};
+
+// ----------------------------------------------------------------
 // Protocol 2: the finite-sequence transfer, with explicit restart
 // recovery as the kick.
 // ----------------------------------------------------------------
@@ -442,6 +558,8 @@ ScenarioHarness::make(const ScenarioConfig &cfg)
 {
     if (cfg.protocol == "single_packet")
         return std::make_unique<SinglePacketScenario>(cfg);
+    if (cfg.protocol == "incast")
+        return std::make_unique<IncastScenario>(cfg);
     if (cfg.protocol == "finite_xfer")
         return std::make_unique<FiniteXferScenario>(cfg);
     if (cfg.protocol == "stream")
@@ -449,7 +567,8 @@ ScenarioHarness::make(const ScenarioConfig &cfg)
     if (cfg.protocol == "socket")
         return std::make_unique<SocketScenario>(cfg);
     msgsim_fatal("unknown checker protocol '", cfg.protocol,
-                 "' (single_packet | finite_xfer | stream | socket)");
+                 "' (single_packet | incast | finite_xfer | stream | "
+                 "socket)");
     return nullptr;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hostprof/hostprof.hh"
 #include "sim/log.hh"
 
 namespace msgsim
@@ -46,6 +47,7 @@ Collectives::rounds() const
 void
 Collectives::amSend(NodeId self, NodeId dst, Kind kind, Word a, Word b)
 {
+    hostprof::HostScope hs(hostprof::Site::CollSend);
     Node &node = stack_.node(self);
     FeatureScope fs(node.acct(), Feature::BaseCost);
     stack_.cmam(self).am4(
@@ -94,23 +96,42 @@ Collectives::onMessage(NodeId self, NodeId src,
       case Kind::ReduceContrib: {
         // Combine the contribution into the local accumulator.
         p.regOps(2);
-        const Word v = args.at(1);
-        switch (reduceOp_) {
-          case ReduceOp::Sum:
-            accum_[self] += v;
-            break;
-          case ReduceOp::Max:
-            accum_[self] = std::max(accum_[self], v);
-            break;
-          case ReduceOp::Min:
-            accum_[self] = std::min(accum_[self], v);
-            break;
-          case ReduceOp::BitOr:
-            accum_[self] |= v;
-            break;
-        }
+        combineInto(accum_[self], args.at(1));
         ++contribGot_[self];
         reduceTrySend(self);
+        break;
+      }
+      case Kind::RingAcc: {
+        // Combine the running total; forward unless we are the root.
+        p.regOps(2);
+        combineInto(accum_[self], args.at(1));
+        ringGot_[self] = true;
+        if (self != reduceRoot_)
+            amSend(self, static_cast<NodeId>((self + 1) % nodes()),
+                   Kind::RingAcc, 0, accum_[self]);
+        break;
+      }
+      case Kind::RingFwd: {
+        // Store the value; forward unless the next hop is the root.
+        if (!hasValue_[self]) {
+            hasValue_[self] = true;
+            bcastValue_[self] = args.at(1);
+            p.regOps(2);
+            const NodeId next =
+                static_cast<NodeId>((self + 1) % nodes());
+            if (next != bcastRoot_)
+                amSend(self, next, Kind::RingFwd, 0,
+                       bcastValue_[self]);
+        }
+        break;
+      }
+      case Kind::RdExchange: {
+        // Stash the round-tagged partial; advance as far as possible.
+        p.regOps(2);
+        const std::uint32_t round = metaRound(meta);
+        rdGot_[self][round] = args.at(1);
+        rdHave_[self][round] = true;
+        rdAdvance(self);
         break;
       }
       default:
@@ -118,9 +139,29 @@ Collectives::onMessage(NodeId self, NodeId src,
     }
 }
 
+void
+Collectives::combineInto(Word &acc, Word v) const
+{
+    switch (reduceOp_) {
+      case ReduceOp::Sum:
+        acc += v;
+        break;
+      case ReduceOp::Max:
+        acc = std::max(acc, v);
+        break;
+      case ReduceOp::Min:
+        acc = std::min(acc, v);
+        break;
+      case ReduceOp::BitOr:
+        acc |= v;
+        break;
+    }
+}
+
 bool
 Collectives::progress(const std::function<bool()> &done)
 {
+    hostprof::HostScope hs(hostprof::Site::CollProgress);
     for (int round = 0; round < 256; ++round) {
         if (done())
             return true;
@@ -133,6 +174,7 @@ Collectives::progress(const std::function<bool()> &done)
             any = true;
             FeatureScope fs(node.acct(), Feature::BaseCost);
             stack_.cmam(id).poll();
+            ++polls_;
         }
         if (!any && done())
             return true;
@@ -180,6 +222,7 @@ Collectives::barrier()
     const std::uint32_t r = rounds();
     ++seq_;
     messages_ = 0;
+    polls_ = 0;
     gotToken_.assign(n, std::vector<bool>(std::max(r, 1u), false));
     waitRound_.assign(n, 0);
     barrierDone_.assign(n, r == 0);
@@ -198,6 +241,7 @@ Collectives::barrier()
     });
     res.messages = messages_;
     res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
     res.elapsed = stack_.sim().now() - t0;
     return res;
 }
@@ -223,12 +267,17 @@ Collectives::bcastForward(NodeId self, std::uint32_t from_round)
 }
 
 Collectives::CollResult
-Collectives::broadcast(NodeId root, Word value, std::vector<Word> &out)
+Collectives::broadcast(NodeId root, Word value, std::vector<Word> &out,
+                       Algo algo)
 {
+    // Recursive doubling's dissemination IS the binomial tree.
+    if (algo == Algo::Ring)
+        return ringBroadcast(root, value, out);
     CollResult res;
     const std::uint32_t n = nodes();
     ++seq_;
     messages_ = 0;
+    polls_ = 0;
     bcastRoot_ = root;
     hasValue_.assign(n, false);
     bcastValue_.assign(n, 0);
@@ -247,6 +296,7 @@ Collectives::broadcast(NodeId root, Word value, std::vector<Word> &out)
     out = bcastValue_;
     res.messages = messages_;
     res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
     res.elapsed = stack_.sim().now() - t0;
     return res;
 }
@@ -276,8 +326,11 @@ Collectives::reduceTrySend(NodeId self)
 
 Collectives::CollResult
 Collectives::reduce(ReduceOp op, const std::vector<Word> &in,
-                    Word &out, NodeId root)
+                    Word &out, NodeId root, Algo algo)
 {
+    // Recursive doubling's combining tree IS the binomial tree.
+    if (algo == Algo::Ring)
+        return ringReduce(op, in, out, root);
     CollResult res;
     const std::uint32_t n = nodes();
     if (in.size() != n)
@@ -285,6 +338,7 @@ Collectives::reduce(ReduceOp op, const std::vector<Word> &in,
                      "), got ", in.size());
     ++seq_;
     messages_ = 0;
+    polls_ = 0;
     reduceOp_ = op;
     reduceRoot_ = root;
     accum_ = in;
@@ -317,6 +371,7 @@ Collectives::reduce(ReduceOp op, const std::vector<Word> &in,
     out = accum_[root];
     res.messages = messages_;
     res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
     res.elapsed = stack_.sim().now() - t0;
     return res;
 }
@@ -331,6 +386,7 @@ Collectives::gather(const std::vector<Word> &in, std::vector<Word> &out,
         msgsim_fatal("gather: need one contribution per node");
     ++seq_;
     messages_ = 0;
+    polls_ = 0;
     exchange_.assign(n, std::vector<Word>(n, 0));
     exchangeGot_.assign(n, 0);
 
@@ -350,6 +406,7 @@ Collectives::gather(const std::vector<Word> &in, std::vector<Word> &out,
     out[root] = in[root];
     res.messages = messages_;
     res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
     res.elapsed = stack_.sim().now() - t0;
     return res;
 }
@@ -364,6 +421,7 @@ Collectives::allToAll(const std::vector<std::vector<Word>> &in,
         msgsim_fatal("allToAll: need one row per node");
     ++seq_;
     messages_ = 0;
+    polls_ = 0;
     exchange_.assign(n, std::vector<Word>(n, 0));
     exchangeGot_.assign(n, 0);
 
@@ -391,23 +449,195 @@ Collectives::allToAll(const std::vector<std::vector<Word>> &in,
     out = exchange_;
     res.messages = messages_;
     res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
     res.elapsed = stack_.sim().now() - t0;
     return res;
 }
 
 Collectives::CollResult
 Collectives::allReduce(ReduceOp op, const std::vector<Word> &in,
-                       std::vector<Word> &out)
+                       std::vector<Word> &out, Algo algo)
 {
+    if (algo == Algo::RecursiveDoubling)
+        return rdAllReduce(op, in, out);
     Word total = 0;
-    CollResult r1 = reduce(op, in, total, 0);
-    CollResult r2 = broadcast(0, total, out);
+    CollResult r1 = reduce(op, in, total, 0, algo);
+    CollResult r2 = broadcast(0, total, out, algo);
     CollResult res;
     res.ok = r1.ok && r2.ok;
     res.messages = r1.messages + r2.messages;
     res.instructions = r1.instructions + r2.instructions;
+    res.polls = r1.polls + r2.polls;
     res.elapsed = r1.elapsed + r2.elapsed;
     return res;
+}
+
+// ------------------------------------------------------------------
+// Ring chains: serial accumulate toward the root, serial forward
+// around the ring.  N-1 messages each; fully latency-bound — the
+// classic bandwidth-optimal ring in its one-word degenerate form.
+// ------------------------------------------------------------------
+
+Collectives::CollResult
+Collectives::ringReduce(ReduceOp op, const std::vector<Word> &in,
+                        Word &out, NodeId root)
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    if (in.size() != n)
+        msgsim_fatal("ringReduce: need one contribution per node (",
+                     n, "), got ", in.size());
+    ++seq_;
+    messages_ = 0;
+    polls_ = 0;
+    reduceOp_ = op;
+    reduceRoot_ = root;
+    accum_ = in;
+    ringGot_.assign(n, false);
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    if (n > 1) {
+        // The chain starts one past the root and accumulates around
+        // the ring; the last hop lands on the root.
+        const NodeId first = static_cast<NodeId>((root + 1) % n);
+        amSend(first, static_cast<NodeId>((first + 1) % n),
+               Kind::RingAcc, 0, accum_[first]);
+    } else {
+        ringGot_[root] = true;
+    }
+    const NodeId rootId = root;
+    res.ok = progress([this, rootId] { return ringGot_[rootId]; });
+    out = accum_[root];
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+Collectives::CollResult
+Collectives::ringBroadcast(NodeId root, Word value,
+                           std::vector<Word> &out)
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    ++seq_;
+    messages_ = 0;
+    polls_ = 0;
+    bcastRoot_ = root;
+    hasValue_.assign(n, false);
+    bcastValue_.assign(n, 0);
+    hasValue_[root] = true;
+    bcastValue_[root] = value;
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    if (n > 1)
+        amSend(root, static_cast<NodeId>((root + 1) % n),
+               Kind::RingFwd, 0, value);
+    res.ok = progress([this] {
+        for (bool h : hasValue_)
+            if (!h)
+                return false;
+        return true;
+    });
+    out = bcastValue_;
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+// ------------------------------------------------------------------
+// Recursive-doubling allreduce: the butterfly.  Round k pairs node i
+// with i ^ 2^k; both exchange partials and combine, so after log2 N
+// rounds every node holds the total.  A node may receive a peer's
+// round-k partial before finishing round k-1 — arrivals stash by
+// round and rdAdvance() consumes them in order.
+// ------------------------------------------------------------------
+
+void
+Collectives::rdAdvance(NodeId self)
+{
+    const std::uint32_t r = rounds();
+    while (rdRound_[self] < r && rdHave_[self][rdRound_[self]]) {
+        combineInto(rdVal_[self], rdGot_[self][rdRound_[self]]);
+        ++rdRound_[self];
+        if (rdRound_[self] < r) {
+            const NodeId peer = static_cast<NodeId>(
+                self ^ (1u << rdRound_[self]));
+            amSend(self, peer, Kind::RdExchange, rdRound_[self],
+                   rdVal_[self]);
+        }
+    }
+}
+
+Collectives::CollResult
+Collectives::rdAllReduce(ReduceOp op, const std::vector<Word> &in,
+                         std::vector<Word> &out)
+{
+    CollResult res;
+    const std::uint32_t n = nodes();
+    if ((n & (n - 1)) != 0)
+        msgsim_fatal("recursive-doubling allreduce needs a "
+                     "power-of-two node count, got ", n);
+    if (in.size() != n)
+        msgsim_fatal("rdAllReduce: need one contribution per node (",
+                     n, "), got ", in.size());
+    ++seq_;
+    messages_ = 0;
+    polls_ = 0;
+    reduceOp_ = op;
+    const std::uint32_t r = rounds();
+    rdRound_.assign(n, 0);
+    rdVal_ = in;
+    rdGot_.assign(n, std::vector<Word>(std::max(r, 1u), 0));
+    rdHave_.assign(n, std::vector<bool>(std::max(r, 1u), false));
+
+    const std::uint64_t instr0 = totalInstructions();
+    const Tick t0 = stack_.sim().now();
+    for (NodeId id = 0; id < n && r > 0; ++id)
+        amSend(id, static_cast<NodeId>(id ^ 1u), Kind::RdExchange, 0,
+               rdVal_[id]);
+    res.ok = progress([this, r] {
+        for (auto round : rdRound_)
+            if (round < r)
+                return false;
+        return true;
+    });
+    out = rdVal_;
+    res.messages = messages_;
+    res.instructions = totalInstructions() - instr0;
+    res.polls = polls_;
+    res.elapsed = stack_.sim().now() - t0;
+    return res;
+}
+
+const char *
+toString(Collectives::Algo a)
+{
+    switch (a) {
+      case Collectives::Algo::Tree:              return "tree";
+      case Collectives::Algo::Ring:              return "ring";
+      case Collectives::Algo::RecursiveDoubling: return "rd";
+      default:                                   return "?";
+    }
+}
+
+bool
+algoFromString(const std::string &name, Collectives::Algo &out)
+{
+    if (name == "tree")
+        out = Collectives::Algo::Tree;
+    else if (name == "ring")
+        out = Collectives::Algo::Ring;
+    else if (name == "rd" || name == "recursive-doubling")
+        out = Collectives::Algo::RecursiveDoubling;
+    else
+        return false;
+    return true;
 }
 
 } // namespace msgsim

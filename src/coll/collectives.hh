@@ -14,8 +14,16 @@
  *  - reduce()     — binomial combining tree to the root;
  *  - allReduce()  — reduce to node 0, then broadcast.
  *
+ * broadcast/reduce/allReduce take an algorithm selector: the binomial
+ * Tree default, a serial Ring (accumulate chain + forward chain,
+ * 2(N-1) messages for allreduce), and RecursiveDoubling (butterfly
+ * exchange, N log2 N messages, power-of-two node counts only).  For
+ * broadcast and reduce alone, recursive doubling's dissemination is
+ * the binomial tree, so those selections degenerate to Tree.
+ *
  * Each operation reports the number of messages, the aggregate
- * instruction bill across all nodes, and the simulated time.
+ * instruction bill across all nodes, the poll entries the progress
+ * loop spent, and the simulated time.
  */
 
 #ifndef MSGSIM_COLL_COLLECTIVES_HH
@@ -23,6 +31,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "protocols/stack.hh"
@@ -45,12 +54,21 @@ class Collectives
         BitOr,
     };
 
+    /** Algorithm selector for broadcast / reduce / allReduce. */
+    enum class Algo : std::uint8_t
+    {
+        Tree,              ///< binomial tree (the default)
+        Ring,              ///< serial chain(s) around the ring
+        RecursiveDoubling, ///< butterfly exchange (pow2 nodes only)
+    };
+
     /** Outcome of one collective operation. */
     struct CollResult
     {
         bool ok = false;
         std::uint64_t messages = 0;   ///< active messages sent
         std::uint64_t instructions = 0; ///< aggregate across nodes
+        std::uint64_t polls = 0;      ///< cmam poll entries spent
         Tick elapsed = 0;
     };
 
@@ -64,21 +82,32 @@ class Collectives
 
     /**
      * Broadcast @p value from @p root; on completion @p out[i] holds
-     * the value on node i.
+     * the value on node i.  RecursiveDoubling degenerates to Tree
+     * (binomial dissemination IS the recursive-doubling broadcast).
      */
     CollResult broadcast(NodeId root, Word value,
-                         std::vector<Word> &out);
+                         std::vector<Word> &out,
+                         Algo algo = Algo::Tree);
 
     /**
      * Reduce @p in (one contribution per node) with @p op to
-     * @p root; @p out receives the result.
+     * @p root; @p out receives the result.  RecursiveDoubling
+     * degenerates to Tree.
      */
     CollResult reduce(ReduceOp op, const std::vector<Word> &in,
-                      Word &out, NodeId root = 0);
+                      Word &out, NodeId root = 0,
+                      Algo algo = Algo::Tree);
 
-    /** Reduce to node 0 then broadcast: every node gets the result. */
+    /**
+     * Every node gets the combined result.  Tree: reduce to node 0
+     * then broadcast, 2(N-1) messages.  Ring: accumulate chain plus
+     * forward chain, 2(N-1) messages, fully serial.
+     * RecursiveDoubling: butterfly, N log2 N messages in log2 N
+     * rounds; fatal unless N is a power of two.
+     */
     CollResult allReduce(ReduceOp op, const std::vector<Word> &in,
-                         std::vector<Word> &out);
+                         std::vector<Word> &out,
+                         Algo algo = Algo::Tree);
 
     /**
      * Gather one word per node to @p root: @p out[i] is node i's
@@ -106,6 +135,9 @@ class Collectives
         ReduceContrib = 3,
         GatherValue = 4,
         AllToAllValue = 5,
+        RingAcc = 6,    ///< ring reduce: running total, combine+forward
+        RingFwd = 7,    ///< ring broadcast: store+forward
+        RdExchange = 8, ///< recursive doubling: round-tagged exchange
     };
 
     std::uint32_t nodes() const { return stack_.machine().nodeCount(); }
@@ -118,6 +150,14 @@ class Collectives
     void barrierAdvance(NodeId self);
     void bcastForward(NodeId self, std::uint32_t from_round);
     void reduceTrySend(NodeId self);
+    void combineInto(Word &acc, Word v) const;
+    void rdAdvance(NodeId self);
+    CollResult ringReduce(ReduceOp op, const std::vector<Word> &in,
+                          Word &out, NodeId root);
+    CollResult ringBroadcast(NodeId root, Word value,
+                             std::vector<Word> &out);
+    CollResult rdAllReduce(ReduceOp op, const std::vector<Word> &in,
+                           std::vector<Word> &out);
 
     /** Run the progress loop until @p done (or round budget). */
     bool progress(const std::function<bool()> &done);
@@ -132,6 +172,7 @@ class Collectives
     // number guards against stragglers).
     Word seq_ = 0;
     std::uint64_t messages_ = 0;
+    std::uint64_t polls_ = 0;
 
     // Barrier state.
     std::vector<std::vector<bool>> gotToken_; ///< [node][round]
@@ -154,7 +195,23 @@ class Collectives
     // Gather / all-to-all state: [receiver][sender] -> value.
     std::vector<std::vector<Word>> exchange_;
     std::vector<std::uint32_t> exchangeGot_;
+
+    // Ring chains: per-node "chain token seen" flag.
+    std::vector<bool> ringGot_;
+
+    // Recursive doubling: per-node round cursor, partial value, and
+    // the round-tagged stash of early arrivals.
+    std::vector<std::uint32_t> rdRound_;
+    std::vector<Word> rdVal_;
+    std::vector<std::vector<Word>> rdGot_;  ///< [node][round]
+    std::vector<std::vector<bool>> rdHave_; ///< [node][round]
 };
+
+/** Printable name of an algorithm ("tree" / "ring" / "rd"). */
+const char *toString(Collectives::Algo a);
+
+/** Parse "tree" / "ring" / "rd"; false = unknown. */
+bool algoFromString(const std::string &name, Collectives::Algo &out);
 
 } // namespace msgsim
 

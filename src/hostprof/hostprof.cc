@@ -32,7 +32,7 @@ struct SiteInfo
 
 constexpr const char *kSubsystems[numSubsystems] = {
     "sim", "net", "cm5", "cr", "ni", "cmam", "hl", "proto",
-    "rdma", "nicam",
+    "rdma", "nicam", "traffic", "coll",
 };
 
 constexpr SiteInfo kSites[numSites] = {
@@ -65,6 +65,10 @@ constexpr SiteInfo kSites[numSites] = {
     {"nicam.route", 9},
     {"nicam.deliver", 9},
     {"nicam.send", 9},
+    {"traffic.send", 10},
+    {"traffic.drain", 10},
+    {"coll.send", 11},
+    {"coll.progress", 11},
 };
 
 } // namespace

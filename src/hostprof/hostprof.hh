@@ -89,15 +89,19 @@ enum class Site : std::uint8_t
     NicamRoute,  ///< nicam inject: fault switch + latency model
     NicamDeliver,///< nicam edge arrival: handler table / fallback
     NicamSend,   ///< nicam host layer: send paths
+    TrafficSend, ///< traffic engine: one injection round
+    TrafficDrain,///< traffic engine: settle + poll sweep
+    CollSend,    ///< collectives: one active-message send
+    CollProgress,///< collectives: the settle/poll progress loop
 };
 
-constexpr int numSites = static_cast<int>(Site::NicamSend) + 1;
+constexpr int numSites = static_cast<int>(Site::CollProgress) + 1;
 
 /** "sim.step", "ni.send", ... (space- and semicolon-free). */
 const char *siteName(Site s);
 
 /** Subsystem names, aggregation targets for the share table. */
-constexpr int numSubsystems = 10;
+constexpr int numSubsystems = 12;
 const char *subsystemName(int idx);
 
 /** Which subsystem a site belongs to (index into subsystemName). */

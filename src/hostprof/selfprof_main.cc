@@ -40,6 +40,7 @@
 #include "protocols/stream.hh"
 #include "sim/metrics.hh"
 #include "sim/obs_cli.hh"
+#include "traffic/engine.hh"
 
 namespace
 {
@@ -54,7 +55,7 @@ usage(std::FILE *out)
         "\n"
         "  --workload=W       p1 (default: cm5 + cr + am4), or one of\n"
         "                     cm5 | cr | rdma | nicam | am4 | xfer | "
-        "stream\n"
+        "stream | incast\n"
         "  --packets=N        packets per network workload "
         "(default 200000)\n"
         "  --words=N          transfer volume for xfer/stream "
@@ -247,6 +248,29 @@ pumpAm4(std::uint64_t rounds)
 }
 
 WorkloadRun
+runIncast(std::uint64_t packets)
+{
+    WorkloadRun run;
+    run.label = "incast traffic";
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::Incast;
+    spec.nodes = 16;
+    // Size the run by fragment count: packets / (nodes * frags).
+    spec.sizeWords = 4; // 2 fragments per message
+    spec.messagesPerNode = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, packets / (16 * 2)));
+    Stack stack(trafficStackConfig(spec, Substrate::Cm5));
+    TrafficEngine engine(stack);
+    const auto t0 = std::chrono::steady_clock::now();
+    const TrafficResult res = engine.run(spec);
+    run.wallUs = usSince(t0);
+    run.packets = res.shape.fragmentsSent;
+    if (!res.ok)
+        run.packets = 0; // surface the failure in the report
+    return run;
+}
+
+WorkloadRun
 runProtocol(bool stream, Substrate sub, std::uint32_t words)
 {
     WorkloadRun run;
@@ -299,6 +323,8 @@ runWorkloads(const Options &opt)
     } else if (opt.workload == "stream") {
         runs.push_back(
             runProtocol(true, Substrate::Cm5, opt.words));
+    } else if (opt.workload == "incast") {
+        runs.push_back(runIncast(n));
     }
     return runs;
 }
@@ -394,7 +420,8 @@ main(int argc, char **argv)
         opt.workload == "p1" || opt.workload == "cm5" ||
         opt.workload == "cr" || opt.workload == "rdma" ||
         opt.workload == "nicam" || opt.workload == "am4" ||
-        opt.workload == "xfer" || opt.workload == "stream";
+        opt.workload == "xfer" || opt.workload == "stream" ||
+        opt.workload == "incast";
     if (!known) {
         std::fprintf(stderr,
                      "msgsim-selfprof: unknown workload '%s'\n",

@@ -33,6 +33,11 @@ struct Experiment
     /// False for wall-clock measurements (P1): excluded from golden
     /// checking and from the byte-determinism guarantee.
     bool deterministic = true;
+    /// True for experiments that gate themselves (W1's
+    /// predicted-vs-measured status column): deterministic — the
+    /// byte-identity guarantee still applies — but carrying no golden
+    /// file, because the analytic model is the reference.
+    bool goldenExempt = false;
     std::vector<std::string> columns;
     /// Labels of the parameter-grid points (size = number of points).
     std::vector<std::string> points;

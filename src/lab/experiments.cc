@@ -28,8 +28,10 @@
 #include "protocols/finite_xfer.hh"
 #include "protocols/single_packet.hh"
 #include "protocols/stream.hh"
+#include "model/traffic_model.hh"
 #include "rdmanet/rdma_network.hh"
-#include "workload/traffic.hh"
+#include "traffic/engine.hh"
+#include "traffic/traffic.hh"
 
 namespace msgsim::lab
 {
@@ -1622,6 +1624,150 @@ makeH1()
     return e;
 }
 
+// ------------------------------------------------------------------
+// W1 — traffic library: predicted vs measured, the golden-free gate.
+// ------------------------------------------------------------------
+
+/** Exact-intent agreement for composed floating-point sums. */
+bool
+w1Agree(double predicted, double measured)
+{
+    const double diff = std::fabs(predicted - measured);
+    const double scale = std::max(
+        1.0, std::max(std::fabs(predicted), std::fabs(measured)));
+    return diff <= 1e-9 * scale;
+}
+
+Experiment
+makeW1()
+{
+    Experiment e;
+    e.name = "W1";
+    e.title = "Traffic library vs analytic predictor: full "
+              "pattern x protocol x substrate grid plus allreduce "
+              "algorithms (golden-free: the model is the reference)";
+    e.goldenExempt = true;
+    e.columns = {"substrate", "workload", "variant", "msgs",
+                 "predicted", "measured", "delta", "status"};
+    e.points = {"cm5", "cr", "rdma", "nicam"};
+    e.notes = {"Every per-event charge in traffic/engine.cc and "
+               "coll/collectives.cc is a constant the predictor "
+               "composes, so predicted == measured exactly; any "
+               "drift in the charged protocol paths fails this gate "
+               "without a golden file.",
+               "Structural counts (fragments, acks, messages) are "
+               "analytic; interleaving-dependent counts (polls, "
+               "out-of-order arrivals) are realized, as in X1."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr Substrate substrates[] = {
+            Substrate::Cm5, Substrate::Cr, Substrate::Rdma,
+            Substrate::Nicam};
+        const Substrate sub = substrates[pi];
+        std::vector<Row> rows;
+
+        // Traffic grid: 5 patterns x 3 protocols, 9 nodes, 5
+        // messages of 5 words (3 fragments), jitter 3 so the
+        // unordered fabrics realize reordering.
+        static constexpr TrafficPattern patterns[] = {
+            TrafficPattern::UniformRandom, TrafficPattern::Permutation,
+            TrafficPattern::Hotspot, TrafficPattern::Incast,
+            TrafficPattern::AllToAll};
+        static constexpr TrafficProto protos[] = {
+            TrafficProto::Am, TrafficProto::Seq, TrafficProto::Acked};
+        for (const TrafficPattern pattern : patterns) {
+            for (const TrafficProto proto : protos) {
+                TrafficSpec spec;
+                spec.pattern = pattern;
+                spec.proto = proto;
+                spec.nodes = 9;
+                spec.messagesPerNode = 5;
+                spec.sizeWords = 5;
+                spec.seed = 1 + pi;
+                spec.maxJitter = 3;
+                Stack stack(trafficStackConfig(spec, sub));
+                TrafficEngine engine(stack);
+                const TrafficResult res = engine.run(spec);
+                const TrafficPrediction pred =
+                    predictTraffic(res.shape);
+
+                bool ok = res.ok;
+                for (int f = 0; f < numPaperFeatures; ++f) {
+                    const CatCost &p = pred.feature[f];
+                    const CatCost &m = res.measured[f];
+                    ok = ok && w1Agree(p.reg, m.reg) &&
+                         w1Agree(p.mem, m.mem) &&
+                         w1Agree(p.dev, m.dev);
+                }
+                // The reliable, in-order fabrics must realize the
+                // paper's "overheads vanish" argument: no reorder
+                // stash activity, no fabric retransmissions.
+                if (sub == Substrate::Cr || sub == Substrate::Rdma)
+                    ok = ok && res.shape.ooo == 0 &&
+                         res.hwRetries == 0;
+                // Structural counts are analytic.
+                const std::uint64_t wantFrags =
+                    9ull * 5 * spec.fragmentsPerMessage();
+                ok = ok && res.shape.fragmentsSent == wantFrags;
+                if (proto == TrafficProto::Acked)
+                    ok = ok && res.shape.acksSent == 9ull * 5;
+
+                rows.push_back(
+                    {T(toString(sub)), T(toString(pattern)),
+                     T(toString(proto)),
+                     I(res.shape.fragmentsSent),
+                     R(pred.grandTotal()),
+                     R(res.measuredGrandTotal()),
+                     R(res.measuredGrandTotal() -
+                       pred.grandTotal()),
+                     okCell(ok)});
+            }
+        }
+
+        // Collective algorithms: allreduce on 8 nodes (power of two
+        // for recursive doubling), message counts analytic.
+        static const char *algos[] = {"tree", "ring", "rd"};
+        for (const char *name : algos) {
+            Collectives::Algo algo;
+            algoFromString(name, algo);
+            StackConfig cfg;
+            cfg.substrate = sub;
+            cfg.nodes = 8;
+            cfg.seed = 11 + pi;
+            Stack stack(cfg);
+            Collectives coll(stack);
+            std::vector<Word> in(8), out;
+            Word want = 0;
+            for (std::uint32_t i = 0; i < 8; ++i) {
+                in[i] = 10 * i + 3;
+                want += in[i];
+            }
+            const auto res = coll.allReduce(
+                Collectives::ReduceOp::Sum, in, out, algo);
+
+            CollShape shape;
+            shape.messages = res.messages;
+            shape.delivered = res.messages;
+            shape.polls = res.polls;
+            const double predicted =
+                predictCollective(shape).grandTotal();
+            const double measured =
+                static_cast<double>(res.instructions);
+
+            bool ok = res.ok && w1Agree(predicted, measured) &&
+                      res.messages == expectedCollMessages(name, 8);
+            for (Word v : out)
+                ok = ok && v == want;
+
+            rows.push_back({T(toString(sub)), T("allreduce"),
+                            T(name), I(res.messages), R(predicted),
+                            R(measured), R(measured - predicted),
+                            okCell(ok)});
+        }
+        return rows;
+    };
+    return e;
+}
+
 void
 registerBuiltins(ExperimentRegistry &reg)
 {
@@ -1652,6 +1798,7 @@ registerBuiltins(ExperimentRegistry &reg)
     reg.add(makeP2());
     reg.add(makeM1());
     reg.add(makeH1());
+    reg.add(makeW1());
 }
 
 } // namespace

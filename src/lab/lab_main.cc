@@ -276,8 +276,8 @@ main(int argc, char **argv)
         std::uint64_t checked = 0, failed = 0, skipped = 0;
         for (const auto &t : tables) {
             const Experiment *e = reg.find(t.name);
-            if (e && !e->deterministic) {
-                ++skipped; // wall-clock results have no golden
+            if (e && (!e->deterministic || e->goldenExempt)) {
+                ++skipped; // wall-clock / self-gated: no golden
                 continue;
             }
             const auto rep = checker.check(t);

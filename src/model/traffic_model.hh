@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Compositional analytic cost model for the traffic library — the
+ * CAMP-style "per-hop / per-message cost terms" predictor behind lab
+ * experiment W1.
+ *
+ * The classic models in model/analytic.hh are closed forms for one
+ * point-to-point protocol run.  Machine-wide traffic composes the
+ * same building blocks (sendCost, pollFixedCost, recvPacketCost)
+ * with *structural event counts*: fragments sent, packets delivered,
+ * poll entries, out-of-order arrivals, acknowledgements.  The counts
+ * that are pure protocol structure (fragments = messages x
+ * ceil(size/2), acks = messages) are predicted from the traffic
+ * spec; the counts that depend on the interleaving the fabric chose
+ * (poll entries, out-of-order arrivals) are taken from the run —
+ * exactly as X1 evaluates the stream model at the realized OOO
+ * fraction.  Every per-event *cost* term is a constant below, and
+ * the traffic engine charges those same constants, so any drift in
+ * the charged protocol paths makes predicted != measured and fails
+ * the W1 gate without a golden file.
+ */
+
+#ifndef MSGSIM_MODEL_TRAFFIC_MODEL_HH
+#define MSGSIM_MODEL_TRAFFIC_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "model/analytic.hh"
+
+namespace msgsim
+{
+
+/**
+ * Per-event instruction charges of the traffic engine's message
+ * protocols (traffic/engine.cc charges exactly these; the predictor
+ * composes them).  All register-class unless noted.
+ */
+namespace traffic_cost
+{
+/// Data-fragment handler: unpack meta, verify checksum (all protos).
+inline constexpr int handlerBaseReg = 4;
+/// seq proto, every arrival: sequence compare against expected.
+inline constexpr int seqCheckReg = 2;
+/// seq proto, in-order arrival: advance the expected counter.
+inline constexpr int seqAdvanceReg = 1;
+/// seq proto, OOO arrival: reorder-list insert (+ 1 memory store).
+inline constexpr int seqStashReg = 5;
+/// seq proto, draining one stashed fragment (+ 1 memory load).
+inline constexpr int seqDrainReg = 3;
+/// acked proto, per fragment at the source: retransmit-buffer hold
+/// (+ 1 memory store).
+inline constexpr int ackHoldReg = 4;
+/// acked proto, per fragment at the destination: message counting.
+inline constexpr int ackTrackReg = 2;
+/// acked proto, per ack consumed at the source: buffer release
+/// (+ 1 memory load).
+inline constexpr int ackConsumeReg = 3;
+/// Collectives handler: prologue (4) + per-kind bookkeeping (2).
+inline constexpr int collHandlerReg = 6;
+} // namespace traffic_cost
+
+/**
+ * Structural event counts of one traffic run — the predictor's
+ * inputs.  fragmentsSent/acksSent are also *predicted* analytically
+ * (expectedTrafficShape); polls and ooo are realized quantities.
+ */
+struct TrafficShape
+{
+    std::uint64_t fragmentsSent = 0;
+    std::uint64_t fragmentsDelivered = 0;
+    std::uint64_t acksSent = 0;
+    std::uint64_t acksDelivered = 0;
+    std::uint64_t polls = 0; ///< cmam poll entries (realized)
+    std::uint64_t ooo = 0;   ///< seq proto: out-of-order arrivals
+    bool seq = false;        ///< in-order-delivery machinery active
+    bool acked = false;      ///< fault-tolerance machinery active
+};
+
+/**
+ * Machine-wide aggregate prediction: per-paper-feature instruction
+ * cost in the three categories.
+ */
+struct TrafficPrediction
+{
+    CatCost feature[numPaperFeatures];
+
+    CatCost &
+    at(Feature f)
+    {
+        return feature[static_cast<int>(f)];
+    }
+
+    const CatCost &
+    at(Feature f) const
+    {
+        return feature[static_cast<int>(f)];
+    }
+
+    /** Category totals summed over all features. */
+    CatCost total() const;
+
+    /** Total predicted instructions (all features, all categories). */
+    double grandTotal() const;
+};
+
+/**
+ * Expected per-feature instruction bill of one traffic run, composed
+ * from the Table 1 building blocks and the traffic_cost terms.
+ */
+TrafficPrediction predictTraffic(const TrafficShape &s);
+
+/** Structural counts of one collective operation. */
+struct CollShape
+{
+    std::uint64_t messages = 0;  ///< active messages the algorithm sends
+    std::uint64_t delivered = 0; ///< handler invocations (== messages)
+    std::uint64_t polls = 0;     ///< cmam poll entries (realized)
+};
+
+/**
+ * Expected instruction bill of one collective: all BaseCost (the
+ * algorithms ride plain am4), M x (send + receive + handler) plus
+ * the realized poll entries.
+ */
+TrafficPrediction predictCollective(const CollShape &s);
+
+/**
+ * Analytic message count of a collective algorithm on @p nodes:
+ *  - "barrier"       : N x ceil(log2 N)   (dissemination)
+ *  - "tree"          : 2 (N - 1)          (binomial reduce + bcast)
+ *  - "ring"          : 2 (N - 1)          (accumulate + forward chains)
+ *  - "rd"            : N x log2 N         (butterfly exchange)
+ * Fatal on an unknown name.
+ */
+std::uint64_t expectedCollMessages(const std::string &algo,
+                                   std::uint32_t nodes);
+
+} // namespace msgsim
+
+#endif // MSGSIM_MODEL_TRAFFIC_MODEL_HH

@@ -67,6 +67,8 @@
 
 // Analysis.
 #include "model/analytic.hh"
-#include "workload/traffic.hh"
+#include "model/traffic_model.hh"
+#include "traffic/engine.hh"
+#include "traffic/traffic.hh"
 
 #endif // MSGSIM_MSGSIM_HH

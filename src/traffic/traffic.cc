@@ -1,4 +1,4 @@
-#include "workload/traffic.hh"
+#include "traffic/traffic.hh"
 
 #include "sim/log.hh"
 
@@ -14,8 +14,32 @@ toString(TrafficPattern p)
       case TrafficPattern::Hotspot:       return "hotspot";
       case TrafficPattern::Ring:          return "ring";
       case TrafficPattern::Transpose:     return "transpose";
+      case TrafficPattern::Incast:        return "incast";
+      case TrafficPattern::AllToAll:      return "alltoall";
       default:                            return "?";
     }
+}
+
+bool
+patternFromString(const std::string &name, TrafficPattern &out)
+{
+    if (name == "uniform" || name == "uniform-random")
+        out = TrafficPattern::UniformRandom;
+    else if (name == "permutation")
+        out = TrafficPattern::Permutation;
+    else if (name == "hotspot")
+        out = TrafficPattern::Hotspot;
+    else if (name == "ring")
+        out = TrafficPattern::Ring;
+    else if (name == "transpose")
+        out = TrafficPattern::Transpose;
+    else if (name == "incast")
+        out = TrafficPattern::Incast;
+    else if (name == "alltoall" || name == "all-to-all")
+        out = TrafficPattern::AllToAll;
+    else
+        return false;
+    return true;
 }
 
 TrafficGen::TrafficGen(std::uint32_t nodes, TrafficPattern pattern,
@@ -55,6 +79,18 @@ TrafficGen::TrafficGen(std::uint32_t nodes, TrafficPattern pattern,
         }
         break;
       }
+      case TrafficPattern::Incast: {
+        // The fan-in storm: everyone hammers node 0 (which, unable
+        // to send to itself, returns the favor to node 1).
+        mapping_.resize(nodes_);
+        for (std::uint32_t i = 0; i < nodes_; ++i)
+            mapping_[i] = i == 0 ? 1 : 0;
+        break;
+      }
+      case TrafficPattern::AllToAll: {
+        rotation_.assign(nodes_, 0);
+        break;
+      }
       default:
         break;
     }
@@ -81,7 +117,15 @@ TrafficGen::destFor(NodeId src)
       case TrafficPattern::Permutation:
       case TrafficPattern::Ring:
       case TrafficPattern::Transpose:
+      case TrafficPattern::Incast:
         return mapping_[src];
+      case TrafficPattern::AllToAll: {
+        // Round-robin over every other node, per-source cursor: the
+        // k-th message from src goes to (src + 1 + k mod (N-1)).
+        const std::uint32_t k = rotation_[src]++;
+        return static_cast<NodeId>(
+            (src + 1 + k % (nodes_ - 1)) % nodes_);
+      }
       default:
         msgsim_panic("bad traffic pattern");
     }

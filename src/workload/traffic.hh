@@ -1,99 +1,15 @@
 /**
  * @file
- * Synthetic traffic workloads for machine-wide experiments — the
- * standard patterns of the interconnection-network literature the
- * paper draws on (uniform random, permutation, hotspot,
- * nearest-neighbor ring, transpose), plus a runner that drives
- * active-message traffic across a whole stack and reports per-node
- * software cost statistics.
+ * Compatibility shim: the traffic pattern library grew into its own
+ * subsystem (src/traffic — pattern vocabulary, the declarative
+ * TrafficEngine, the analytic predictor hookup).  This header keeps
+ * the old include path working; new code should include
+ * "traffic/traffic.hh" directly.
  */
 
 #ifndef MSGSIM_WORKLOAD_TRAFFIC_HH
 #define MSGSIM_WORKLOAD_TRAFFIC_HH
 
-#include <cstdint>
-#include <vector>
-
-#include "protocols/stack.hh"
-#include "sim/rng.hh"
-#include "sim/stats.hh"
-
-namespace msgsim
-{
-
-/** Classic destination patterns. */
-enum class TrafficPattern : std::uint8_t
-{
-    UniformRandom, ///< fresh uniform destination per message
-    Permutation,   ///< fixed random bijection, drawn once per seed
-    Hotspot,       ///< a fraction of traffic targets node 0
-    Ring,          ///< nearest neighbor: (i + 1) mod N
-    Transpose,     ///< bit-reversal-ish: (i + N/2) mod N
-};
-
-/** Printable name of a pattern. */
-const char *toString(TrafficPattern p);
-
-/**
- * Destination generator for one pattern instance.
- */
-class TrafficGen
-{
-  public:
-    /**
-     * @param nodes        machine size
-     * @param pattern      destination pattern
-     * @param seed         randomness for the stochastic patterns
-     * @param hotFraction  Hotspot: probability a message hits node 0
-     */
-    TrafficGen(std::uint32_t nodes, TrafficPattern pattern,
-               std::uint64_t seed = 1, double hotFraction = 0.5);
-
-    /** Destination of @p src's next message (never src itself). */
-    NodeId destFor(NodeId src);
-
-    TrafficPattern pattern() const { return pattern_; }
-
-    /** The fixed mapping (Permutation/Ring/Transpose patterns). */
-    const std::vector<NodeId> &mapping() const { return mapping_; }
-
-  private:
-    std::uint32_t nodes_;
-    TrafficPattern pattern_;
-    Rng rng_;
-    double hotFraction_;
-    std::vector<NodeId> mapping_;
-};
-
-/**
- * Drives @p messagesPerNode active messages from every node under a
- * pattern and reports delivery/cost statistics.
- */
-class TrafficRunner
-{
-  public:
-    struct Result
-    {
-        bool ok = false;             ///< every payload checksum held
-        std::uint64_t messages = 0;  ///< messages sent
-        std::uint64_t delivered = 0; ///< handler invocations
-        Tick elapsed = 0;
-        RunningStat perNodeInstr;    ///< instruction bill per node
-        double maxOverMean = 0;      ///< load imbalance indicator
-    };
-
-    explicit TrafficRunner(Stack &stack);
-
-    Result run(TrafficGen &gen, std::uint32_t messagesPerNode,
-               std::uint64_t payloadSeed = 99);
-
-  private:
-    Stack &stack_;
-    std::vector<int> handlerIds_;
-    std::uint64_t delivered_ = 0;
-    std::uint64_t badPayloads_ = 0;
-};
-
-} // namespace msgsim
+#include "traffic/traffic.hh"
 
 #endif // MSGSIM_WORKLOAD_TRAFFIC_HH

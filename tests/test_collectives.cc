@@ -206,6 +206,158 @@ TEST(Collectives, AllToAllPersonalizedExchange)
     EXPECT_EQ(res.messages, static_cast<std::uint64_t>(n) * (n - 1));
 }
 
+// --- algorithm selectors across substrates -------------------------
+
+StackConfig
+configOn(std::uint32_t nodes, Substrate substrate)
+{
+    StackConfig cfg;
+    cfg.nodes = nodes;
+    cfg.substrate = substrate;
+    return cfg;
+}
+
+class CollSubstrate : public ::testing::TestWithParam<Substrate>
+{
+};
+
+TEST_P(CollSubstrate, RingAllReduceDeliversExactlyOnce)
+{
+    // Ring works on any node count, including non-powers of two.
+    for (std::uint32_t n : {2u, 5u, 8u, 13u}) {
+        Stack stack(configOn(n, GetParam()));
+        Collectives coll(stack);
+        std::vector<Word> in(n);
+        Word expect = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            in[i] = 7 * i + 1;
+            expect += in[i];
+        }
+        std::vector<Word> out;
+        const auto res = coll.allReduce(Collectives::ReduceOp::Sum,
+                                        in, out,
+                                        Collectives::Algo::Ring);
+        ASSERT_TRUE(res.ok) << n;
+        ASSERT_EQ(out.size(), n);
+        // Exactly-once: every node holds the full sum — a duplicate
+        // RingAcc combine would overshoot, a loss would undershoot.
+        for (Word v : out)
+            EXPECT_EQ(v, expect) << n;
+        // Accumulate chain + forward chain: exactly 2(N-1) messages.
+        EXPECT_EQ(res.messages, 2u * (n - 1)) << n;
+    }
+}
+
+TEST_P(CollSubstrate, RecursiveDoublingAllReduceButterfly)
+{
+    for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+        Stack stack(configOn(n, GetParam()));
+        Collectives coll(stack);
+        std::vector<Word> in(n);
+        Word expect = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            in[i] = i * i + 3;
+            expect += in[i];
+        }
+        std::vector<Word> out;
+        const auto res = coll.allReduce(
+            Collectives::ReduceOp::Sum, in, out,
+            Collectives::Algo::RecursiveDoubling);
+        ASSERT_TRUE(res.ok) << n;
+        for (Word v : out)
+            EXPECT_EQ(v, expect) << n;
+        // Butterfly: every node sends one message per round.
+        std::uint32_t lg = 0;
+        while ((1u << lg) < n)
+            ++lg;
+        EXPECT_EQ(res.messages,
+                  static_cast<std::uint64_t>(n) * lg)
+            << n;
+    }
+}
+
+TEST_P(CollSubstrate, AlgorithmsAgreeUnderScrambledDelivery)
+{
+    StackConfig cfg = configOn(8, GetParam());
+    cfg.maxJitter = 17; // reorders on cm5/nicam; no-op on cr/rdma
+    cfg.seed = 5;
+    Stack stack(cfg);
+    Collectives coll(stack);
+    const std::vector<Word> in{4, 8, 15, 16, 23, 42, 5, 9};
+    for (auto algo : {Collectives::Algo::Tree,
+                      Collectives::Algo::Ring,
+                      Collectives::Algo::RecursiveDoubling}) {
+        std::vector<Word> out;
+        const auto res =
+            coll.allReduce(Collectives::ReduceOp::Max, in, out, algo);
+        ASSERT_TRUE(res.ok) << toString(algo);
+        for (Word v : out)
+            EXPECT_EQ(v, 42u) << toString(algo);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Substrates, CollSubstrate,
+                         ::testing::Values(Substrate::Cm5,
+                                           Substrate::Cr,
+                                           Substrate::Rdma,
+                                           Substrate::Nicam));
+
+TEST(Collectives, RdmaCollectivesNeverRetry)
+{
+    // On the reliable offloaded fabric the collectives must complete
+    // without a single hardware retransmission or sink-full
+    // redelivery, whatever the algorithm.
+    Stack stack(configOn(8, Substrate::Rdma));
+    Collectives coll(stack);
+    const std::vector<Word> in(8, 3);
+    for (auto algo : {Collectives::Algo::Tree,
+                      Collectives::Algo::Ring,
+                      Collectives::Algo::RecursiveDoubling}) {
+        std::vector<Word> out;
+        ASSERT_TRUE(
+            coll.allReduce(Collectives::ReduceOp::Sum, in, out, algo)
+                .ok);
+        for (Word v : out)
+            EXPECT_EQ(v, 24u);
+    }
+    EXPECT_EQ(stack.network().stats().hwRetries, 0u);
+    EXPECT_EQ(stack.network().stats().deliveryRetries, 0u);
+}
+
+TEST(Collectives, RingAndRdBroadcastDegenerate)
+{
+    // For broadcast/reduce alone, recursive doubling IS the binomial
+    // tree; ring broadcast is the serial forward chain.
+    Stack stack(configOn(8, Substrate::Cm5));
+    Collectives coll(stack);
+    std::vector<Word> out;
+    auto res = coll.broadcast(2, 0xfeed, out,
+                              Collectives::Algo::RecursiveDoubling);
+    ASSERT_TRUE(res.ok);
+    for (Word v : out)
+        EXPECT_EQ(v, 0xfeedu);
+    EXPECT_EQ(res.messages, 7u); // binomial: N-1
+
+    res = coll.broadcast(2, 0xbead, out, Collectives::Algo::Ring);
+    ASSERT_TRUE(res.ok);
+    for (Word v : out)
+        EXPECT_EQ(v, 0xbeadu);
+    EXPECT_EQ(res.messages, 7u); // chain: N-1
+}
+
+TEST(Collectives, AlgoNamesRoundTrip)
+{
+    for (const char *name : {"tree", "ring", "rd"}) {
+        Collectives::Algo a;
+        ASSERT_TRUE(algoFromString(name, a)) << name;
+        EXPECT_STREQ(toString(a), name);
+    }
+    Collectives::Algo a;
+    EXPECT_TRUE(algoFromString("recursive-doubling", a));
+    EXPECT_EQ(a, Collectives::Algo::RecursiveDoubling);
+    EXPECT_FALSE(algoFromString("bogus", a));
+}
+
 TEST(Collectives, PerNodeCostScalesLogarithmically)
 {
     // Dissemination barrier: each node sends and receives exactly

@@ -306,6 +306,63 @@ TEST(LabExperiments, T1ReproducesPaperTotals)
     EXPECT_EQ((*total)[3].i, 27); // paper: destination 27
 }
 
+TEST(LabExperiments, W1PredictsTheWholeTrafficGrid)
+{
+    // W1 is the golden-free analytic gate: every pattern x protocol
+    // x collective row must come out "ok" with zero drift between
+    // the compositional predictor and the charged run.
+    const auto *w1 = builtinRegistry().find("W1");
+    ASSERT_NE(w1, nullptr);
+    EXPECT_TRUE(w1->deterministic);
+    EXPECT_TRUE(w1->goldenExempt); // model is the reference, no file
+    ASSERT_EQ(w1->points.size(), 4u); // one per substrate
+
+    const auto cols = w1->columns;
+    const std::size_t statusCol = cols.size() - 1;
+    ASSERT_EQ(cols[statusCol], "status");
+
+    for (std::size_t pi = 0; pi < w1->points.size(); ++pi) {
+        const auto rows = w1->runPoint(pi);
+        ASSERT_FALSE(rows.empty()) << w1->points[pi];
+        for (const auto &r : rows)
+            EXPECT_EQ(r[statusCol].s, "ok")
+                << w1->points[pi] << " row " << r[1].s << "/"
+                << r[2].s;
+    }
+}
+
+TEST(LabExperiments, W1IsDeterministicPerPoint)
+{
+    const auto *w1 = builtinRegistry().find("W1");
+    ASSERT_NE(w1, nullptr);
+    ResultTable a, b;
+    a.name = b.name = "W1";
+    a.columns = b.columns = w1->columns;
+    for (const auto &r : w1->runPoint(2)) // rdma
+        a.addRow(r);
+    for (const auto &r : w1->runPoint(2))
+        b.addRow(r);
+    EXPECT_EQ(a.jsonText(), b.jsonText());
+}
+
+TEST(LabExperiments, GoldenExemptSkipsTheFileCheck)
+{
+    // A deterministic experiment flagged goldenExempt must not fail
+    // the golden gate just because no file exists.
+    const auto *w1 = builtinRegistry().find("W1");
+    ASSERT_NE(w1, nullptr);
+    EXPECT_TRUE(w1->deterministic && w1->goldenExempt);
+    // Every non-exempt deterministic experiment keeps a golden.
+    const std::string dir =
+        std::string(MSGSIM_SOURCE_DIR) + "/lab/golden";
+    for (const auto &e : builtinRegistry().all()) {
+        if (!e.deterministic || e.goldenExempt)
+            continue;
+        std::ifstream is(dir + "/" + e.name + ".json");
+        EXPECT_TRUE(is.good()) << e.name;
+    }
+}
+
 TEST(LabExperiments, ResultTableRendersMarkdownAndCsv)
 {
     const auto t = tinyTable();

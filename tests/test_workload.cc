@@ -9,7 +9,7 @@
 #include <set>
 
 #include "protocols/rpc.hh"
-#include "workload/traffic.hh"
+#include "traffic/traffic.hh"
 
 namespace msgsim
 {

@@ -24,6 +24,12 @@
 #                                on the P1 workload (share sum, top-3,
 #                                folded grammar), and the wall-clock
 #                                append to the bench trajectory
+#   ./verify.sh --traffic        only the traffic gate: W1 (the
+#                                golden-free predicted-vs-measured
+#                                grid) byte-identical across -j,
+#                                msgsim-traffic --predict smokes on
+#                                every substrate, and the incast /
+#                                alltoall bench trajectory entries
 set -euo pipefail
 
 repo_dir="$(cd "$(dirname "$0")" && pwd)"
@@ -262,6 +268,60 @@ EOF
     echo "hostprof ok: H1 golden, shares ~100%, trajectory appended"
 }
 
+check_traffic() {
+    local traffic="$repo_dir/build/src/traffic/msgsim-traffic"
+    local lab="$repo_dir/build/src/lab/msgsim-lab"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    # W1: the analytic predictor gates the full pattern x protocol x
+    # substrate grid with zero drift — golden-free by design (the
+    # model IS the reference) but required byte-identical across -j.
+    (cd "$repo_dir" && "$lab" W1 -j 1 --quiet --json-out="$tmpdir/j1")
+    (cd "$repo_dir" && "$lab" W1 -j 8 --quiet --json-out="$tmpdir/j8")
+    cmp "$tmpdir/j1/W1.json" "$tmpdir/j8/W1.json"
+    if grep -q DRIFT "$tmpdir/j1/W1.json"; then
+        echo "W1 reports predicted-vs-measured DRIFT" >&2
+        return 1
+    fi
+
+    # The CLI gate on every substrate: --predict exits non-zero on
+    # any disagreement between the charged run and the model.
+    local sub
+    for sub in cm5 cr rdma nicam; do
+        "$traffic" --pattern=incast --substrate="$sub" \
+            --protocol=acked --nodes=8 --msgs=4 --size=5 \
+            --predict --quiet
+        "$traffic" --pattern=alltoall --substrate="$sub" \
+            --protocol=seq --nodes=8 --msgs=4 --size=3 --jitter=5 \
+            --predict --quiet
+    done
+
+    # Wall-clock throughput points for the perf trajectory: the two
+    # headline datacenter patterns.
+    (cd "$repo_dir" && "$traffic" --pattern=incast --substrate=rdma \
+        --protocol=acked --nodes=16 --msgs=64 --size=8 --quiet \
+        --bench-out=BENCH_throughput.json --bench-label=incast)
+    (cd "$repo_dir" && "$traffic" --pattern=alltoall --substrate=cm5 \
+        --protocol=am --nodes=16 --msgs=32 --size=8 --quiet \
+        --bench-out=BENCH_throughput.json --bench-label=alltoall)
+    python3 - "$repo_dir/BENCH_throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+labels = [e["label"] for e in doc["entries"]]
+assert "incast" in labels and "alltoall" in labels, labels
+print(f"bench trajectory ok: {labels}")
+EOF
+    echo "traffic ok: W1 drift-free + byte-identical, CLI gate green on all substrates"
+}
+
+if [[ "${1:-}" == "--traffic" ]]; then
+    check_traffic
+    echo "verify --traffic: OK"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--check" ]]; then
     check_model_checker
     echo "verify --check: OK"
@@ -306,4 +366,5 @@ check_lab
 check_model_checker
 check_prof
 check_hostprof
+check_traffic
 echo "verify: OK"
