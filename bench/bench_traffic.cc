@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
-#include "workload/traffic.hh"
+#include "traffic/traffic.hh"
 
 using namespace msgsim;
 using namespace msgsim::bench;

@@ -40,7 +40,8 @@ usage(std::FILE *out)
         "\n"
         "scenario:\n"
         "  --protocol=P       single_packet | incast | finite_xfer |\n"
-        "                     stream | socket (default stream)\n"
+        "                     stream | socket | wire_window |\n"
+        "                     wire_reset | wire_attach (default stream)\n"
         "  --substrate=S      cm5 | cr | rdma | nicam (default cm5)\n"
         "  --nodes=N          nodes in the machine (default 2)\n"
         "  --packets=N        messages / data packets sent (default 3)\n"
@@ -50,6 +51,15 @@ usage(std::FILE *out)
         "                     (default: the protocol's safe set)\n"
         "  --bug              re-introduce the ack-before-insert\n"
         "                     stream bug (the checker should catch it)\n"
+        "  --streams=N        wire_window: multiplexed streams\n"
+        "                     (default 2)\n"
+        "  --window=W         wire_*: per-stream sliding window\n"
+        "                     (default 2)\n"
+        "  --wire-corrupt-every=N\n"
+        "                     wire_*: flip the CRC of every Nth DATA\n"
+        "                     frame at the wire layer (default off)\n"
+        "  --bug-wire-reset   seed the wire reset-delivery bug (the\n"
+        "                     checker should catch it)\n"
         "\n"
         "exploration:\n"
         "  --depth=D          DFS branching choice points (default 12)\n"
@@ -132,6 +142,18 @@ parseCli(int argc, char **argv, CliOptions &cli)
                 static_cast<unsigned>(intOf("--fault-kinds="));
         } else if (arg == "--bug") {
             cli.scenario.bugAckBeforeInsert = true;
+        } else if (arg.rfind("--streams=", 0) == 0) {
+            cli.scenario.streams =
+                static_cast<std::uint32_t>(intOf("--streams="));
+        } else if (arg.rfind("--window=", 0) == 0) {
+            cli.scenario.window =
+                static_cast<int>(intOf("--window="));
+        } else if (arg.rfind("--wire-corrupt-every=", 0) == 0) {
+            cli.scenario.wireCorruptEvery =
+                static_cast<std::uint32_t>(
+                    intOf("--wire-corrupt-every="));
+        } else if (arg == "--bug-wire-reset") {
+            cli.scenario.bugWireResetDeliver = true;
         } else if (arg.rfind("--depth=", 0) == 0) {
             cli.limits.depth = static_cast<int>(intOf("--depth="));
         } else if (arg.rfind("--budget=", 0) == 0) {
@@ -164,7 +186,10 @@ parseCli(int argc, char **argv, CliOptions &cli)
         cli.scenario.protocol != "incast" &&
         cli.scenario.protocol != "finite_xfer" &&
         cli.scenario.protocol != "stream" &&
-        cli.scenario.protocol != "socket") {
+        cli.scenario.protocol != "socket" &&
+        cli.scenario.protocol != "wire_window" &&
+        cli.scenario.protocol != "wire_reset" &&
+        cli.scenario.protocol != "wire_attach") {
         std::fprintf(stderr, "error: unknown protocol '%s'\n",
                      cli.scenario.protocol.c_str());
         return false;
@@ -175,6 +200,14 @@ parseCli(int argc, char **argv, CliOptions &cli)
     }
     if (cli.scenario.packets < 1 || cli.scenario.packets > 16) {
         std::fprintf(stderr, "error: --packets must be in [1, 16]\n");
+        return false;
+    }
+    if (cli.scenario.streams < 1 || cli.scenario.streams > 4) {
+        std::fprintf(stderr, "error: --streams must be in [1, 4]\n");
+        return false;
+    }
+    if (cli.scenario.window < 1 || cli.scenario.window > 8) {
+        std::fprintf(stderr, "error: --window must be in [1, 8]\n");
         return false;
     }
     return true;

@@ -39,7 +39,8 @@ ScenarioConfig::effectiveFaultKinds() const
     // finite transfer counts packets, so a ghost double-decrements
     // its completion countdown) are *specified* for drop/corrupt
     // faults only.
-    if (protocol == "stream" || protocol == "socket")
+    if (protocol == "stream" || protocol == "socket" ||
+        protocol.rfind("wire_", 0) == 0)
         return kFaultDrop | kFaultCorrupt | kFaultDuplicate;
     return kFaultDrop | kFaultCorrupt;
 }

@@ -8,6 +8,7 @@
 #include "protocols/socket.hh"
 #include "protocols/stream.hh"
 #include "sim/log.hh"
+#include "wire/mux.hh"
 
 namespace msgsim::check
 {
@@ -551,6 +552,334 @@ class SocketScenario : public ScenarioHarness
     std::vector<Word> deliveredFirstWords_;
 };
 
+// ----------------------------------------------------------------
+// Protocols 5-7: the wire layer's StreamMux — framed multi-stream
+// transport with per-stream sliding-window flow control, riding a
+// reliable channel pair.  Shared base: the mux, the per-stream
+// delivery journal, and the wire safety contract (in-order
+// exactly-once per stream, intact payloads, window bound, and no
+// delivery on a reset stream).
+// ----------------------------------------------------------------
+class WireScenarioBase : public ScenarioHarness
+{
+  protected:
+    explicit WireScenarioBase(const ScenarioConfig &cfg)
+        : ScenarioHarness(cfg)
+    {
+        proto_ = std::make_unique<StreamProtocol>(*stack_);
+        wire::MuxOptions mo;
+        mo.groupAck = cfg.groupAck;
+        // Under the schedule gate nothing is delivered until the
+        // explorer says so, so a full retransmit ring would spin
+        // forever inside sendOn.  Size the rings for the whole
+        // scenario: every frame ever sent (including the wire-level
+        // kick resends) fits without blocking.
+        mo.ringPackets = 512;
+        mo.window = static_cast<std::uint8_t>(
+            cfg.window < 1 ? 1 : cfg.window);
+        mo.ackEvery = 1;
+        mux_ = std::make_unique<wire::StreamMux>(
+            *stack_, *proto_, 0, 1, mo,
+            [this](std::uint16_t sid, std::uint32_t seq,
+                   const std::vector<Word> &payload) {
+                onDeliver(sid, seq, payload);
+            });
+        mux_->setCorruptEveryN(cfg.wireCorruptEvery);
+        mux_->setBugResetDeliver(cfg.bugWireResetDeliver);
+    }
+
+    virtual void
+    onDeliver(std::uint16_t sid, std::uint32_t seq,
+              const std::vector<Word> &payload)
+    {
+        seqs_[sid].push_back(seq);
+        firstWords_[sid].push_back(payload.empty() ? 0 : payload[0]);
+    }
+
+    static Word
+    value(std::uint16_t sid, std::uint32_t frame, int word)
+    {
+        return 0xef000000u + (static_cast<Word>(sid) << 16) +
+               frame * 8u + static_cast<Word>(word);
+    }
+
+    std::vector<Word>
+    payloadFor(std::uint16_t sid, std::uint32_t frame) const
+    {
+        return {value(sid, frame, 0), value(sid, frame, 1)};
+    }
+
+    /** The wire layer's core safety contract, checked per step. */
+    std::string
+    wireSafety() const
+    {
+        for (const auto &[sid, seqs] : seqs_) {
+            const auto &words = firstWords_.at(sid);
+            for (std::size_t i = 0; i < seqs.size(); ++i) {
+                if (seqs[i] != i) {
+                    std::ostringstream os;
+                    os << "stream " << sid
+                       << " broke in-order exactly-once delivery "
+                          "at frame "
+                       << i;
+                    return os.str();
+                }
+                if (words[i] !=
+                    value(sid, static_cast<std::uint32_t>(i), 0)) {
+                    std::ostringstream os;
+                    os << "stream " << sid
+                       << " delivered a corrupted payload at frame "
+                       << i;
+                    return os.str();
+                }
+            }
+        }
+        for (const std::uint16_t sid : sids_) {
+            if (mux_->unacked(sid) >
+                static_cast<std::size_t>(cfg_.window)) {
+                std::ostringstream os;
+                os << "stream " << sid
+                   << " exceeded its sliding window: "
+                   << mux_->unacked(sid) << " unacked frames";
+                return os.str();
+            }
+        }
+        if (mux_->stats().deliveredAfterReset != 0)
+            return "data delivered on a reset stream";
+        return "";
+    }
+
+  public:
+    bool kick() override { return mux_->kick(); }
+
+  protected:
+    std::unique_ptr<StreamProtocol> proto_;
+    std::unique_ptr<wire::StreamMux> mux_;
+    std::vector<std::uint16_t> sids_;
+    /// Per-stream delivery journal at the receiver.
+    std::map<std::uint16_t, std::vector<std::uint32_t>> seqs_;
+    std::map<std::uint16_t, std::vector<Word>> firstWords_;
+};
+
+// The window-stall/refill race: several streams round-robin more
+// frames than the window admits, so sends defer to the backlog and
+// only cumulative acks (which the schedule orders freely) pump them
+// out.  With --wire-corrupt-every the CRC-reject resend path joins
+// the exploration.
+class WireWindowScenario : public WireScenarioBase
+{
+  public:
+    explicit WireWindowScenario(const ScenarioConfig &cfg)
+        : WireScenarioBase(cfg)
+    {
+    }
+
+    void
+    start() override
+    {
+        const std::uint32_t n = cfg_.streams < 1 ? 1 : cfg_.streams;
+        for (std::uint32_t s = 0; s < n; ++s)
+            sids_.push_back(mux_->openStream());
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i)
+            for (const std::uint16_t sid : sids_)
+                mux_->send(sid, payloadFor(sid, i));
+        for (const std::uint16_t sid : sids_)
+            mux_->closeStream(sid);
+    }
+
+    bool
+    done() const override
+    {
+        for (const std::uint16_t sid : sids_) {
+            if (mux_->sendState(sid) != wire::SendState::Detached)
+                return false;
+            if (mux_->deliveredOn(sid) != cfg_.packets)
+                return false;
+        }
+        return mux_->quiescent();
+    }
+
+    std::string
+    protocolInvariant() const override
+    {
+        return wireSafety();
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        const std::string step = wireSafety();
+        if (!step.empty())
+            return step;
+        for (const std::uint16_t sid : sids_) {
+            if (mux_->deliveredOn(sid) != cfg_.packets) {
+                std::ostringstream os;
+                os << "stream " << sid << " delivered "
+                   << mux_->deliveredOn(sid) << " of "
+                   << cfg_.packets << " frames";
+                return os.str();
+            }
+            if (mux_->sendState(sid) != wire::SendState::Detached ||
+                mux_->recvState(sid) != wire::RecvState::Detached) {
+                std::ostringstream os;
+                os << "stream " << sid << " ended "
+                   << toString(mux_->sendState(sid)) << "/"
+                   << toString(mux_->recvState(sid))
+                   << ", expected detached/detached";
+                return os.str();
+            }
+        }
+        if (!mux_->quiescent())
+            return "wire layer not quiescent at end of schedule";
+        return "";
+    }
+};
+
+// The reset-vs-inflight-data race: the receiver aborts the stream
+// from inside the first delivery, with the rest of the window still
+// in the network.  The contract says every later DATA frame is
+// discarded; the seeded bug (--bug-wire-reset) keeps delivering and
+// the checker must catch it.
+class WireResetScenario : public WireScenarioBase
+{
+  public:
+    explicit WireResetScenario(const ScenarioConfig &cfg)
+        : WireScenarioBase(cfg)
+    {
+    }
+
+    void
+    start() override
+    {
+        sid_ = mux_->openStream();
+        sids_.push_back(sid_);
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i)
+            mux_->send(sid_, payloadFor(sid_, i));
+        // No close: the receiver aborts mid-stream instead.
+    }
+
+    bool
+    done() const override
+    {
+        return resetIssued_ &&
+               mux_->sendState(sid_) == wire::SendState::Reset &&
+               mux_->quiescent();
+    }
+
+    std::string
+    protocolInvariant() const override
+    {
+        return wireSafety();
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        const std::string step = wireSafety();
+        if (!step.empty())
+            return step;
+        if (mux_->deliveredOn(sid_) != 1) {
+            std::ostringstream os;
+            os << "reset stream delivered "
+               << mux_->deliveredOn(sid_)
+               << " frames, expected exactly the pre-reset one";
+            return os.str();
+        }
+        if (mux_->recvState(sid_) != wire::RecvState::Reset)
+            return "receiver side not in reset state at end";
+        if (!mux_->quiescent())
+            return "wire layer not quiescent after reset settled";
+        return "";
+    }
+
+  protected:
+    void
+    onDeliver(std::uint16_t sid, std::uint32_t seq,
+              const std::vector<Word> &payload) override
+    {
+        WireScenarioBase::onDeliver(sid, seq, payload);
+        if (!resetIssued_) {
+            resetIssued_ = true;
+            mux_->resetStream(sid);
+        }
+    }
+
+  private:
+    std::uint16_t sid_ = 0;
+    bool resetIssued_ = false;
+};
+
+// The attach-while-detaching race: stream A is closed with frames
+// still unacked (DETACH deferred in state Closing), then stream B
+// attaches and pushes data through the same channel while A is
+// still tearing down.  Per-stream in-order exactly-once must hold
+// for both, and both must end fully detached.
+class WireAttachScenario : public WireScenarioBase
+{
+  public:
+    explicit WireAttachScenario(const ScenarioConfig &cfg)
+        : WireScenarioBase(cfg)
+    {
+    }
+
+    void
+    start() override
+    {
+        const std::uint16_t a = mux_->openStream();
+        sids_.push_back(a);
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i)
+            mux_->send(a, payloadFor(a, i));
+        mux_->closeStream(a); // Closing: frames still unacked
+        const std::uint16_t b = mux_->openStream();
+        sids_.push_back(b);
+        for (std::uint32_t i = 0; i < cfg_.packets; ++i)
+            mux_->send(b, payloadFor(b, i));
+        mux_->closeStream(b);
+    }
+
+    bool
+    done() const override
+    {
+        for (const std::uint16_t sid : sids_) {
+            if (mux_->sendState(sid) != wire::SendState::Detached)
+                return false;
+            if (mux_->deliveredOn(sid) != cfg_.packets)
+                return false;
+        }
+        return mux_->quiescent();
+    }
+
+    std::string
+    protocolInvariant() const override
+    {
+        return wireSafety();
+    }
+
+    std::string
+    protocolFinal() const override
+    {
+        const std::string step = wireSafety();
+        if (!step.empty())
+            return step;
+        for (const std::uint16_t sid : sids_) {
+            if (mux_->deliveredOn(sid) != cfg_.packets ||
+                mux_->sendState(sid) != wire::SendState::Detached ||
+                mux_->recvState(sid) != wire::RecvState::Detached) {
+                std::ostringstream os;
+                os << "stream " << sid << " ended "
+                   << toString(mux_->sendState(sid)) << "/"
+                   << toString(mux_->recvState(sid)) << " with "
+                   << mux_->deliveredOn(sid) << " of "
+                   << cfg_.packets << " frames";
+                return os.str();
+            }
+        }
+        if (!mux_->quiescent())
+            return "wire layer not quiescent at end of schedule";
+        return "";
+    }
+};
+
 } // namespace
 
 std::unique_ptr<ScenarioHarness>
@@ -566,9 +895,15 @@ ScenarioHarness::make(const ScenarioConfig &cfg)
         return std::make_unique<StreamScenario>(cfg);
     if (cfg.protocol == "socket")
         return std::make_unique<SocketScenario>(cfg);
+    if (cfg.protocol == "wire_window")
+        return std::make_unique<WireWindowScenario>(cfg);
+    if (cfg.protocol == "wire_reset")
+        return std::make_unique<WireResetScenario>(cfg);
+    if (cfg.protocol == "wire_attach")
+        return std::make_unique<WireAttachScenario>(cfg);
     msgsim_fatal("unknown checker protocol '", cfg.protocol,
                  "' (single_packet | incast | finite_xfer | stream | "
-                 "socket)");
+                 "socket | wire_window | wire_reset | wire_attach)");
     return nullptr;
 }
 

@@ -19,6 +19,13 @@ scenarioToJson(const ScenarioConfig &sc)
     j.set("fault_kinds",
           static_cast<std::int64_t>(sc.effectiveFaultKinds()));
     j.set("bug_ack_before_insert", sc.bugAckBeforeInsert);
+    if (sc.protocol.rfind("wire_", 0) == 0) {
+        j.set("streams", static_cast<std::int64_t>(sc.streams));
+        j.set("window", sc.window);
+        j.set("wire_corrupt_every",
+              static_cast<std::int64_t>(sc.wireCorruptEvery));
+        j.set("bug_wire_reset_deliver", sc.bugWireResetDeliver);
+    }
     return j;
 }
 
@@ -58,6 +65,16 @@ scenarioFromJson(const Json &j, ScenarioConfig &sc,
         sc.faultKinds = static_cast<unsigned>(v->asInt());
     if (const Json *v = j.find("bug_ack_before_insert"))
         sc.bugAckBeforeInsert = v->asBool();
+    // Wire-layer fields: optional, so pre-wire counterexample files
+    // keep parsing with the defaults.
+    if (const Json *v = j.find("streams"))
+        sc.streams = static_cast<std::uint32_t>(v->asInt());
+    if (const Json *v = j.find("window"))
+        sc.window = static_cast<int>(v->asInt());
+    if (const Json *v = j.find("wire_corrupt_every"))
+        sc.wireCorruptEvery = static_cast<std::uint32_t>(v->asInt());
+    if (const Json *v = j.find("bug_wire_reset_deliver"))
+        sc.bugWireResetDeliver = v->asBool();
     return true;
 }
 

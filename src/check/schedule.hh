@@ -70,7 +70,7 @@ struct Choice
 struct ScenarioConfig
 {
     std::string protocol = "stream"; ///< single_packet | finite_xfer
-                                     ///< | stream | socket
+                                     ///< | stream | socket | wire_*
     Substrate substrate = Substrate::Cm5;
     std::uint32_t nodes = 2;
     std::uint32_t packets = 3; ///< messages / data packets to send
@@ -84,6 +84,17 @@ struct ScenarioConfig
     /// (StreamProtocol::setBugAckBeforeInsert) so the checker has
     /// something to catch.
     bool bugAckBeforeInsert = false;
+    /// wire_window: logical streams multiplexed over the channel.
+    std::uint32_t streams = 2;
+    /// wire_*: per-stream sliding window (max unacked DATA frames).
+    int window = 2;
+    /// wire_*: flip the CRC of every Nth first-transmission DATA
+    /// frame (0 = off) — drives the wire CRC-reject/resend path
+    /// under the schedule explorer.
+    std::uint32_t wireCorruptEvery = 0;
+    /// Seeded wire bug (StreamMux::setBugResetDeliver): the receiver
+    /// keeps delivering in-flight DATA on a stream it already reset.
+    bool bugWireResetDeliver = false;
 
     /** The effective fault-kind mask (resolves the 0 default). */
     unsigned effectiveFaultKinds() const;

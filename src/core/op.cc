@@ -38,6 +38,7 @@ toString(Feature feat)
       case Feature::Idle:            return "Idle";
       case Feature::CompletionPoll:  return "Compl. Poll";
       case Feature::Registration:    return "Registration";
+      case Feature::Framing:         return "Framing";
       default:                       return "?";
     }
 }

@@ -70,6 +70,12 @@ constexpr int numCategories = static_cast<int>(Category::NumCategories);
  * before the NIC may touch them.  They come AFTER Idle so that the
  * paper-feature indices (and every golden-pinned table) are
  * unchanged; paperTotal() still sums only the first four.
+ *
+ * Framing is the fifth measurable feature column (src/wire): the
+ * marshalling / COBS-framing / CRC bill a concrete byte-level wire
+ * format adds on top of the abstract packet protocols.  Appended
+ * after Registration under the same convention, so paperTotal() and
+ * every classic golden stay byte-identical.
  */
 enum class Feature : std::uint8_t
 {
@@ -80,6 +86,7 @@ enum class Feature : std::uint8_t
     Idle,           ///< unproductive polling (event mode only)
     CompletionPoll, ///< harvesting NIC completion-queue entries (rdma)
     Registration,   ///< memory-region pin/translate before NIC access
+    Framing,        ///< wire marshalling, COBS framing, CRC (src/wire)
     NumFeatures
 };
 

@@ -32,7 +32,7 @@ struct SiteInfo
 
 constexpr const char *kSubsystems[numSubsystems] = {
     "sim", "net", "cm5", "cr", "ni", "cmam", "hl", "proto",
-    "rdma", "nicam", "traffic", "coll",
+    "rdma", "nicam", "traffic", "coll", "wire",
 };
 
 constexpr SiteInfo kSites[numSites] = {
@@ -69,6 +69,9 @@ constexpr SiteInfo kSites[numSites] = {
     {"traffic.drain", 10},
     {"coll.send", 11},
     {"coll.progress", 11},
+    {"wire.encode", 12},
+    {"wire.decode", 12},
+    {"wire.mux", 12},
 };
 
 } // namespace

@@ -93,15 +93,18 @@ enum class Site : std::uint8_t
     TrafficDrain,///< traffic engine: settle + poll sweep
     CollSend,    ///< collectives: one active-message send
     CollProgress,///< collectives: the settle/poll progress loop
+    WireEncode,  ///< wire layer: marshal + COBS + CRC on send
+    WireDecode,  ///< wire layer: delimiter scan + CRC + parse on recv
+    WireMux,     ///< wire layer: stream demux / window state machine
 };
 
-constexpr int numSites = static_cast<int>(Site::CollProgress) + 1;
+constexpr int numSites = static_cast<int>(Site::WireMux) + 1;
 
 /** "sim.step", "ni.send", ... (space- and semicolon-free). */
 const char *siteName(Site s);
 
 /** Subsystem names, aggregation targets for the share table. */
-constexpr int numSubsystems = 12;
+constexpr int numSubsystems = 13;
 const char *subsystemName(int idx);
 
 /** Which subsystem a site belongs to (index into subsystemName). */

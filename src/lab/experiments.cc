@@ -32,6 +32,7 @@
 #include "rdmanet/rdma_network.hh"
 #include "traffic/engine.hh"
 #include "traffic/traffic.hh"
+#include "wire/wire_run.hh"
 
 namespace msgsim::lab
 {
@@ -1768,6 +1769,80 @@ makeW1()
     return e;
 }
 
+// ------------------------------------------------------------------
+// F1 — the per-feature wire bill: the framed multi-stream transport
+// (src/wire) on every substrate, clean and under deterministic CRC
+// corruption.  The Framing column is the wire layer's own cost
+// (marshal + COBS + CRC + mux), charged outside the four paper
+// features so every classic table is untouched; on rdma the NIC
+// does the framing inline and the column collapses to descriptor
+// handling.
+// ------------------------------------------------------------------
+
+Experiment
+makeF1()
+{
+    Experiment e;
+    e.name = "F1";
+    e.title = "Wire framing bill: per-feature instruction counts of "
+              "the framed multi-stream transport on each substrate, "
+              "clean and under CRC corruption";
+    e.columns = {"substrate", "run", "framing", "base", "buffer",
+                 "in-order", "fault-tol", "framed B", "delivered",
+                 "crc rej", "retx", "stalls", "total", "check"};
+    e.points = {"cm5", "cr", "rdma", "nicam"};
+    e.notes = {"The multi-stream workload: 4 streams x 8 frames of "
+               "6 words, window 4, riding one persistent channel "
+               "pair through the normal CMAM/Accounting path.",
+               "'framing' is Feature::Framing — appended after the "
+               "paper features, so paperTotal() and every classic "
+               "golden stay byte-identical; 'total' adds it on top.",
+               "The corrupt run flips every 3rd DATA frame's CRC "
+               "before transmit; the receiver's frame decoder "
+               "rejects, the sequence gap dup-acks, and the wire "
+               "timeout model resends — all counts deterministic.",
+               "On rdma framing collapses to descriptor handling "
+               "(the NIC gathers, stuffs and checksums inline): the "
+               "differential's 'vanishes' row, golden-pinned here."};
+    e.runPoint = [](std::size_t pi) {
+        static constexpr Substrate subs[] = {
+            Substrate::Cm5, Substrate::Cr, Substrate::Rdma,
+            Substrate::Nicam};
+        std::vector<Row> rows;
+        for (const int corrupt : {0, 3}) {
+            StackConfig cfg;
+            cfg.substrate = subs[pi];
+            cfg.nodes = 4;
+            cfg.dataWords = 4;
+            Stack stack(cfg);
+            wire::WireWorkload w;
+            w.corruptEvery = static_cast<std::uint32_t>(corrupt);
+            const wire::WireRunResult res =
+                wire::runWireWorkload(stack, w);
+            const auto &c = res.run.counts;
+            const std::uint64_t framing =
+                c.featureTotal(Feature::Framing);
+            rows.push_back(
+                {T(toString(cfg.substrate)),
+                 T(corrupt ? "corrupt" : "clean"), I(framing),
+                 paperCount(c.featureTotal(Feature::BaseCost)),
+                 paperCount(c.featureTotal(Feature::BufferMgmt)),
+                 paperCount(
+                     c.featureTotal(Feature::InOrderDelivery)),
+                 paperCount(
+                     c.featureTotal(Feature::FaultTolerance)),
+                 I(res.wire.framedBytes),
+                 I(res.wire.dataDelivered), paperCount(res.crcRejects),
+                 paperCount(res.wire.wireRetransmits),
+                 paperCount(res.wire.windowStalls),
+                 I(c.paperTotal() + framing),
+                 okCell(res.run.dataOk)});
+        }
+        return rows;
+    };
+    return e;
+}
+
 void
 registerBuiltins(ExperimentRegistry &reg)
 {
@@ -1799,6 +1874,7 @@ registerBuiltins(ExperimentRegistry &reg)
     reg.add(makeM1());
     reg.add(makeH1());
     reg.add(makeW1());
+    reg.add(makeF1());
 }
 
 } // namespace

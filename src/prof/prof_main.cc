@@ -36,7 +36,7 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: msgsim-prof [--protocol=single|am4|xfer|stream]\n"
+        "usage: msgsim-prof [--protocol=single|am4|xfer|stream|wire]\n"
         "                   [--substrate=cm5|cr|rdma|nicam]\n"
         "                   [--baseline=cm5|cr|rdma|nicam]\n"
         "                   [--baseline]  (bare: cm5 vs --substrate)\n"
@@ -163,6 +163,10 @@ main(int argc, char **argv)
             run.set(prof::featureSlug(feat),
                     primary.result.counts.featureTotal(feat));
         }
+        if (primaryCfg.protocol == "wire")
+            run.set(prof::featureSlug(Feature::Framing),
+                    primary.result.counts.featureTotal(
+                        Feature::Framing));
         report.set("run", std::move(run));
         report.set("waterfall", primary.waterfall.toJson());
     }

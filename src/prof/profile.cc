@@ -13,6 +13,7 @@
 #include "rdmanet/rdma_stack.hh"
 #include "sim/log.hh"
 #include "sim/trace_session.hh"
+#include "wire/wire_run.hh"
 
 namespace msgsim::prof
 {
@@ -70,9 +71,10 @@ ProfRun
 runProfiled(const ProfConfig &cfg)
 {
     if (cfg.protocol != "single" && cfg.protocol != "am4" &&
-        cfg.protocol != "xfer" && cfg.protocol != "stream")
+        cfg.protocol != "xfer" && cfg.protocol != "stream" &&
+        cfg.protocol != "wire")
         msgsim_fatal("unknown protocol '", cfg.protocol,
-                     "' (single | am4 | xfer | stream)");
+                     "' (single | am4 | xfer | stream | wire)");
 
     // Fold spans and flows into the caller's timeline when one is
     // attached; otherwise attach a private session for the run.
@@ -98,7 +100,29 @@ runProfiled(const ProfConfig &cfg)
     const bool hlRun = cfg.substrate == Substrate::Cr &&
                        (cfg.protocol == "xfer" ||
                         cfg.protocol == "stream");
-    if (cfg.substrate == Substrate::Rdma) {
+    if (cfg.protocol == "wire") {
+        // The wire layer rides the plain CMAM stack on every
+        // substrate (its framing cost model flips on the substrate
+        // itself), so the substrate x feature comparison holds the
+        // protocol machinery constant.
+        StackConfig sc;
+        sc.substrate = cfg.substrate;
+        sc.nodes = cfg.nodes;
+        sc.dataWords = cfg.dataWords;
+        Stack stack(sc);
+        if (ts)
+            ts->bindClock(&stack.sim());
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            profiler.bindNode(n, &stack.node(n).proc().acct());
+        wire::WireWorkload w;
+        w.groupAck = cfg.groupAck;
+        w.framesPerStream =
+            cfg.words < w.streams * w.payloadWords
+                ? 1
+                : cfg.words / (w.streams * w.payloadWords);
+        out.result = wire::runWireWorkload(stack, w).run;
+        out.result.dispatchOps = stack.cmam(1).dispatchOps();
+    } else if (cfg.substrate == Substrate::Rdma) {
         RdmaStackConfig sc;
         sc.nodes = cfg.nodes;
         sc.dataWords = cfg.dataWords;
@@ -236,9 +260,13 @@ differential(const ProfConfig &primaryCfg, const ProfRun &primary,
     };
     if (d.modern) {
         // The costs 2020s hardware charges instead: harvesting the
-        // completion queue and registering memory with the NIC.
+        // completion queue and registering memory with the NIC —
+        // plus the wire layer's framing bill, which the rdma NIC
+        // absorbs (zero-copy gather + inline CRC) while the software
+        // substrates pay per byte.
         feats.push_back(Feature::CompletionPoll);
         feats.push_back(Feature::Registration);
+        feats.push_back(Feature::Framing);
     }
     for (Feature feat : feats) {
         DiffRow row;

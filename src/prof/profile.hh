@@ -44,7 +44,7 @@ namespace msgsim::prof
 /** What to run and where. */
 struct ProfConfig
 {
-    std::string protocol = "xfer"; ///< single | am4 | xfer | stream
+    std::string protocol = "xfer"; ///< single | am4 | xfer | stream | wire
     Substrate substrate = Substrate::Cm5;
     std::uint32_t nodes = 4;
     int dataWords = 4;

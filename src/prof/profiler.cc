@@ -16,6 +16,7 @@ featureSlug(Feature feat)
       case Feature::Idle:            return "idle";
       case Feature::CompletionPoll:  return "completion_poll";
       case Feature::Registration:    return "registration";
+      case Feature::Framing:         return "framing";
       default:                       return "?";
     }
 }

@@ -1,0 +1,80 @@
+#include "wire/cobs.hh"
+
+#include <array>
+
+namespace msgsim::wire
+{
+
+void
+cobsEncode(const std::uint8_t *p, std::size_t n, Bytes &out)
+{
+    std::size_t codeAt = out.size();
+    out.push_back(0); // placeholder for the first code byte
+    std::uint8_t code = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (p[i] == 0) {
+            out[codeAt] = code;
+            codeAt = out.size();
+            out.push_back(0);
+            code = 1;
+            continue;
+        }
+        out.push_back(p[i]);
+        if (++code == 0xff) {
+            out[codeAt] = code;
+            codeAt = out.size();
+            out.push_back(0);
+            code = 1;
+        }
+    }
+    out[codeAt] = code;
+}
+
+bool
+cobsDecode(const std::uint8_t *p, std::size_t n, Bytes &out)
+{
+    std::size_t i = 0;
+    while (i < n) {
+        const std::uint8_t code = p[i];
+        if (code == 0 || i + code > n)
+            return false; // malformed: zero code or overrun
+        for (std::uint8_t j = 1; j < code; ++j)
+            out.push_back(p[i + j]);
+        i += code;
+        // A code below 0xff encodes a zero — unless it closed the
+        // block, where the delimiter itself supplied it.
+        if (code != 0xff && i < n)
+            out.push_back(0);
+    }
+    return true;
+}
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *p, std::size_t n)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace msgsim::wire

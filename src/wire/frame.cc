@@ -1,0 +1,84 @@
+#include "wire/frame.hh"
+
+namespace msgsim::wire
+{
+
+void
+encodeFrame(const StreamHeader &header, const Bytes &payload,
+            Bytes &out)
+{
+    Bytes body;
+    body.reserve(StreamHeader::encodedSize(header.type) +
+                 payload.size() + 4);
+    Writer w(body);
+    header.encode(w);
+    w.bytes(payload.data(), payload.size());
+    w.u32(crc32(body.data(), body.size()));
+    cobsEncode(body.data(), body.size(), out);
+    out.push_back(0); // frame delimiter
+}
+
+void
+FrameDecoder::push(const std::uint8_t *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (p[i] != 0) {
+            buf_.push_back(p[i]);
+            continue;
+        }
+        if (!buf_.empty())
+            finishBlock();
+        // Empty block: inter-frame padding, skipped silently.
+    }
+}
+
+void
+FrameDecoder::finishBlock()
+{
+    Bytes body;
+    body.reserve(buf_.size());
+    const bool cobsOk = cobsDecode(buf_.data(), buf_.size(), body);
+    buf_.clear();
+    if (!cobsOk || body.size() < 8 + 4) {
+        ++malformed_;
+        return;
+    }
+    const std::size_t bodyLen = body.size() - 4;
+    Reader tail(body.data() + bodyLen, 4);
+    if (tail.u32() != crc32(body.data(), bodyLen)) {
+        ++crcRejects_;
+        return;
+    }
+    Frame f;
+    Reader r(body.data(), bodyLen);
+    if (!f.header.decode(r)) {
+        ++malformed_;
+        return;
+    }
+    if (!r.bytes(f.payload, r.remaining())) {
+        ++malformed_;
+        return;
+    }
+    ++frames_;
+    if (sink_)
+        sink_(f);
+}
+
+const char *
+toString(PacketType t)
+{
+    switch (t) {
+      case PacketType::Invalid:  return "invalid";
+      case PacketType::Init:     return "init";
+      case PacketType::Reply:    return "reply";
+      case PacketType::Data:     return "data";
+      case PacketType::Datagram: return "datagram";
+      case PacketType::Ack:      return "ack";
+      case PacketType::Reset:    return "reset";
+      case PacketType::Attach:   return "attach";
+      case PacketType::Detach:   return "detach";
+      default:                   return "?";
+    }
+}
+
+} // namespace msgsim::wire

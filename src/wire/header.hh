@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Typed wire-packet headers, after libssu's stream_protocol
+ * (SNIPPETS.md §2): every frame starts with a common stream header
+ * (stream id, packet type, window advertisement); DATA and ACK
+ * frames extend it with a 32-bit sequence / cumulative-ack number.
+ *
+ * Layout (little-endian, inside the CRC-protected frame body):
+ *
+ *     magic(4) | sid(2) | type(1) | window(1) [| seq(4)] | payload
+ *
+ * magic = 0x304d5257 ("WRM0") guards against feeding a foreign byte
+ * stream to the demultiplexer; type is the libssu vocabulary
+ * (init/reply/data/datagram/ack/reset/attach/detach).
+ */
+
+#ifndef MSGSIM_WIRE_HEADER_HH
+#define MSGSIM_WIRE_HEADER_HH
+
+#include <cstdint>
+
+#include "wire/marshal.hh"
+
+namespace msgsim::wire
+{
+
+/** Frame magic: 'W' 'R' 'M' '0' in little-endian byte order. */
+constexpr std::uint32_t kMagic = 0x304d5257u;
+
+/** Packet-type vocabulary (libssu's stream_protocol values). */
+enum class PacketType : std::uint8_t
+{
+    Invalid = 0x0,
+    Init = 0x1,
+    Reply = 0x2,
+    Data = 0x3,
+    Datagram = 0x4,
+    Ack = 0x5,
+    Reset = 0x6,
+    Attach = 0x7,
+    Detach = 0x8,
+};
+
+/** Printable name of a packet type. */
+const char *toString(PacketType t);
+
+/** The common header every frame carries; DATA/ACK add seq. */
+struct StreamHeader
+{
+    std::uint16_t sid = 0;     ///< logical stream id
+    PacketType type = PacketType::Invalid;
+    std::uint8_t window = 0;   ///< receive-window advertisement
+    std::uint32_t seq = 0;     ///< DATA: tx seq; ACK: cumulative ack
+
+    /** True when @p type carries the 32-bit sequence field. */
+    static bool
+    hasSeq(PacketType t)
+    {
+        return t == PacketType::Data || t == PacketType::Ack ||
+               t == PacketType::Init || t == PacketType::Reply;
+    }
+
+    /** Encoded header size in bytes for @p t. */
+    static std::size_t
+    encodedSize(PacketType t)
+    {
+        return hasSeq(t) ? 12 : 8;
+    }
+
+    void
+    encode(Writer &w) const
+    {
+        w.u32(kMagic);
+        w.u16(sid);
+        w.u8(static_cast<std::uint8_t>(type));
+        w.u8(window);
+        if (hasSeq(type))
+            w.u32(seq);
+    }
+
+    /** False on bad magic, unknown type, or a short buffer. */
+    bool
+    decode(Reader &r)
+    {
+        if (r.u32() != kMagic)
+            return false;
+        sid = r.u16();
+        const std::uint8_t t = r.u8();
+        if (t < 0x1 || t > 0x8)
+            return false;
+        type = static_cast<PacketType>(t);
+        window = r.u8();
+        if (hasSeq(type))
+            seq = r.u32();
+        return r.ok();
+    }
+};
+
+} // namespace msgsim::wire
+
+#endif // MSGSIM_WIRE_HEADER_HH

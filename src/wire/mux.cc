@@ -1,0 +1,711 @@
+#include "wire/mux.hh"
+
+#include "hostprof/hostprof.hh"
+#include "sim/log.hh"
+
+namespace msgsim::wire
+{
+
+namespace
+{
+
+/// Pack wire bytes into Words (4 bytes per word, little-endian),
+/// zero-padded to a multiple of @p packetWords.  Padding zeros are
+/// empty COBS blocks, which the decoder skips silently.
+void
+bytesToWords(const Bytes &b, int packetWords, std::vector<Word> &out)
+{
+    std::size_t words = (b.size() + 3) / 4;
+    const std::size_t n = static_cast<std::size_t>(packetWords);
+    words = ((words + n - 1) / n) * n;
+    out.assign(words, 0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        out[i / 4] |= static_cast<Word>(b[i]) << (8 * (i % 4));
+}
+
+void
+wordsToBytes(const std::vector<Word> &w, Bytes &out)
+{
+    out.resize(w.size() * 4);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        for (int k = 0; k < 4; ++k)
+            out[i * 4 + static_cast<std::size_t>(k)] =
+                static_cast<std::uint8_t>(w[i] >> (8 * k));
+}
+
+void
+payloadToBytes(const std::vector<Word> &payload, Bytes &out)
+{
+    Writer w(out);
+    for (const Word word : payload)
+        w.u32(word);
+}
+
+/// Like encodeFrame, but with the CRC flipped: the deterministic
+/// corruption knob.  The COBS encoding stays well formed, so the
+/// receiver reaches the CRC check and rejects there — guaranteed
+/// crcRejects, never malformed.
+void
+encodeFrameCorrupt(const StreamHeader &header, const Bytes &payload,
+                   Bytes &out)
+{
+    Bytes body;
+    Writer w(body);
+    header.encode(w);
+    w.bytes(payload.data(), payload.size());
+    w.u32(crc32(body.data(), body.size()) ^ 0x1u);
+    cobsEncode(body.data(), body.size(), out);
+    out.push_back(0);
+}
+
+} // namespace
+
+const char *
+toString(SendState s)
+{
+    switch (s) {
+      case SendState::Open:     return "open";
+      case SendState::Closing:  return "closing";
+      case SendState::Detached: return "detached";
+      case SendState::Reset:    return "reset";
+      default:                  return "?";
+    }
+}
+
+const char *
+toString(RecvState s)
+{
+    switch (s) {
+      case RecvState::Open:     return "open";
+      case RecvState::Detached: return "detached";
+      case RecvState::Reset:    return "reset";
+      default:                  return "?";
+    }
+}
+
+StreamMux::StreamMux(Stack &stack, StreamProtocol &proto, NodeId sender,
+                     NodeId receiver, const MuxOptions &opt,
+                     DeliverFn cb)
+    : stack_(stack), proto_(proto), sender_(sender),
+      receiver_(receiver), opt_(opt), deliverFn_(std::move(cb)),
+      offloaded_(stack.substrate() == Substrate::Rdma),
+      rxDecoder_([this](const Frame &f) { onFwdFrame(f); }),
+      txDecoder_([this](const Frame &f) { onRevFrame(f); })
+{
+    if (opt_.window == 0)
+        msgsim_fatal("wire mux window must be at least 1");
+    if (opt_.ackEvery == 0)
+        opt_.ackEvery = 1;
+
+    // Modeled scratch regions, uncharged (static carving at
+    // connection establishment, like the channel rings): the CRC
+    // table, a staging buffer large enough for any frame, and the
+    // two-word NIC descriptor the offloaded path uses instead.
+    txScratch_.crcTable = stack_.node(sender_).mem().alloc(256);
+    txScratch_.buf = stack_.node(sender_).mem().alloc(64);
+    txScratch_.desc = stack_.node(sender_).mem().alloc(2);
+    rxScratch_.crcTable = stack_.node(receiver_).mem().alloc(256);
+    rxScratch_.buf = stack_.node(receiver_).mem().alloc(64);
+    rxScratch_.desc = stack_.node(receiver_).mem().alloc(2);
+
+    fwdChan_ = proto_.openPersistent(
+        sender_, receiver_, opt_.groupAck, opt_.ringPackets,
+        [this](std::uint32_t, const std::vector<Word> &w) {
+            onFwdPacket(w);
+        });
+    revChan_ = proto_.openPersistent(
+        receiver_, sender_, opt_.groupAck, opt_.ringPackets,
+        [this](std::uint32_t, const std::vector<Word> &w) {
+            onRevPacket(w);
+        });
+}
+
+// ------------------------------------------------------------------
+// Modeled cost (Feature::Framing).
+//
+// Software substrates (cm5/cr/nicam) touch every byte: the header
+// build (6 reg + 2 st), the per-word payload marshal (2 reg + 1 st),
+// the table-driven CRC (1 reg + 1 table ld per body byte), and the
+// COBS stuffing pass (1 reg per body byte + 1 st per output word).
+// The receive side mirrors it: a delimiter scan over every wire byte
+// (1 reg + 1 ld per ring word), then per frame the CRC verify, the
+// header parse (6 reg + 2 ld) and the payload unmarshal.
+//
+// On rdma the NIC gathers, stuffs and checksums inline (zero-copy):
+// the host builds one two-word descriptor per frame on send (4 reg +
+// 1 std) and harvests one on receive (4 reg + 1 ldd) — framing all
+// but vanishes from the processor's bill.
+// ------------------------------------------------------------------
+
+void
+StreamMux::chargeTxFrame(NodeId at, std::size_t bodyBytes,
+                         std::size_t wireBytes,
+                         std::size_t payloadWords)
+{
+    Node &nd = stack_.node(at);
+    Processor &p = nd.proc();
+    const Scratch &sc = at == sender_ ? txScratch_ : rxScratch_;
+    if (offloaded_) {
+        p.regOps(4); // descriptor fields, doorbell address
+        p.storeDouble(sc.desc, static_cast<Word>(bodyBytes),
+                      static_cast<Word>(payloadWords)); // mem 1
+        return;
+    }
+    // Header build.
+    p.regOps(6);
+    p.storeWord(sc.buf + 0, 0); // mem 1
+    p.storeWord(sc.buf + 1, 0); // mem 2
+    // Payload marshal.
+    p.regOps(2 * payloadWords);
+    for (std::size_t w = 0; w < payloadWords; ++w)
+        p.storeWord(sc.buf + 3 + static_cast<Addr>(w % 48), 0);
+    // CRC accumulate: xor/index per byte + one table load.
+    p.regOps(bodyBytes);
+    for (std::size_t i = 0; i < bodyBytes; ++i)
+        (void)p.loadWord(sc.crcTable + static_cast<Addr>(i & 0xff));
+    // COBS stuffing pass + output stores.
+    p.regOps(bodyBytes + 2);
+    const std::size_t wireWords = (wireBytes + 3) / 4;
+    for (std::size_t w = 0; w < wireWords; ++w)
+        p.storeWord(sc.buf + static_cast<Addr>(w % 64), 0);
+}
+
+void
+StreamMux::chargeRxChunk(std::size_t bytes)
+{
+    if (offloaded_)
+        return; // the NIC scatters verified frames directly
+    Processor &p = stack_.node(receiver_).proc();
+    p.regOps(bytes); // delimiter scan
+    const std::size_t words = (bytes + 3) / 4;
+    for (std::size_t w = 0; w < words; ++w)
+        (void)p.loadWord(rxScratch_.buf + static_cast<Addr>(w % 64));
+}
+
+void
+StreamMux::chargeRxFrame(const Frame &f)
+{
+    Processor &p = stack_.node(receiver_).proc();
+    if (offloaded_) {
+        p.regOps(4); // completion harvest, header extract
+        (void)p.loadDouble(rxScratch_.desc); // mem 1
+        return;
+    }
+    const std::size_t bodyBytes =
+        StreamHeader::encodedSize(f.header.type) + f.payload.size() + 4;
+    // CRC verify.
+    p.regOps(bodyBytes);
+    for (std::size_t i = 0; i < bodyBytes; ++i)
+        (void)p.loadWord(rxScratch_.crcTable +
+                         static_cast<Addr>(i & 0xff));
+    // Header parse.
+    p.regOps(6);
+    (void)p.loadWord(rxScratch_.buf + 0); // mem 1
+    (void)p.loadWord(rxScratch_.buf + 1); // mem 2
+    // Payload unmarshal into words.
+    const std::size_t words = f.payload.size() / 4;
+    p.regOps(2 * words);
+    for (std::size_t w = 0; w < words; ++w)
+        p.storeWord(rxScratch_.buf + 3 + static_cast<Addr>(w % 48), 0);
+}
+
+// ------------------------------------------------------------------
+// Transmission.
+// ------------------------------------------------------------------
+
+void
+StreamMux::transmitOn(bool fwd, const StreamHeader &h,
+                      const Bytes &payload, bool corrupt)
+{
+    const NodeId at = fwd ? sender_ : receiver_;
+    Bytes wire;
+    {
+        hostprof::HostScope hs(hostprof::Site::WireEncode);
+        FeatureScope fs(stack_.node(at).acct(), Feature::Framing);
+        if (corrupt)
+            encodeFrameCorrupt(h, payload, wire);
+        else
+            encodeFrame(h, payload, wire);
+        const std::size_t bodyBytes =
+            StreamHeader::encodedSize(h.type) + payload.size() + 4;
+        chargeTxFrame(at, bodyBytes, wire.size(), payload.size() / 4);
+    }
+    std::vector<Word> words;
+    bytesToWords(wire, stack_.dataWords(), words);
+    ++stats_.framesSent;
+    stats_.framedBytes += words.size() * 4;
+    if (corrupt)
+        ++stats_.corruptedTx;
+    // The underlying channel's send path charges under the ambient
+    // feature; transmits triggered from inside a Framing-scoped
+    // handler (acks, resets) must not bill the hw packet to Framing.
+    FeatureScope base(stack_.node(at).acct(), Feature::BaseCost);
+    proto_.sendOn(fwd ? fwdChan_ : revChan_, words);
+}
+
+std::uint16_t
+StreamMux::openStream()
+{
+    if (nextSid_ == 0xffff)
+        msgsim_panic("wire mux stream ids exhausted");
+    const std::uint16_t sid = nextSid_++;
+    send_[sid] = SendStream{};
+    StreamHeader h;
+    h.sid = sid;
+    h.type = PacketType::Attach;
+    h.window = opt_.window;
+    transmitOn(true, h, {}, false);
+    return sid;
+}
+
+void
+StreamMux::send(std::uint16_t sid, const std::vector<Word> &payload)
+{
+    auto it = send_.find(sid);
+    if (it == send_.end())
+        msgsim_panic("wire send on unknown stream ", sid);
+    SendStream &ss = it->second;
+    if (ss.state != SendState::Open)
+        msgsim_panic("wire send on ", toString(ss.state), " stream ",
+                     sid);
+    if (payload.empty() || payload.size() > maxPayloadWords)
+        msgsim_fatal("wire payload of ", payload.size(),
+                     " words: must be 1..", maxPayloadWords);
+    if (!ss.backlog.empty() || ss.unacked.size() >= opt_.window) {
+        // Window stall: defer until a cumulative ack frees a slot.
+        ++stats_.windowStalls;
+        ss.backlog.push_back(payload);
+        return;
+    }
+    transmitData(sid, ss, payload);
+}
+
+void
+StreamMux::transmitData(std::uint16_t sid, SendStream &ss,
+                        const std::vector<Word> &payload)
+{
+    StreamHeader h;
+    h.sid = sid;
+    h.type = PacketType::Data;
+    h.window = opt_.window;
+    h.seq = ss.nextSeq++;
+    ss.unacked[h.seq] = payload;
+    ++stats_.dataFrames;
+    ++dataTxCount_;
+    const bool corrupt =
+        corruptEvery_ != 0 && dataTxCount_ % corruptEvery_ == 0;
+    Bytes bytes;
+    payloadToBytes(payload, bytes);
+    transmitOn(true, h, bytes, corrupt);
+}
+
+void
+StreamMux::pumpBacklog(std::uint16_t sid, SendStream &ss)
+{
+    while (!ss.backlog.empty() && ss.unacked.size() < opt_.window) {
+        const std::vector<Word> payload = ss.backlog.front();
+        ss.backlog.pop_front();
+        transmitData(sid, ss, payload);
+    }
+}
+
+void
+StreamMux::maybeDetach(std::uint16_t sid, SendStream &ss)
+{
+    if (ss.state != SendState::Closing || !ss.unacked.empty() ||
+        !ss.backlog.empty())
+        return;
+    StreamHeader h;
+    h.sid = sid;
+    h.type = PacketType::Detach;
+    h.window = 0;
+    transmitOn(true, h, {}, false);
+    ss.state = SendState::Detached;
+}
+
+void
+StreamMux::closeStream(std::uint16_t sid)
+{
+    auto it = send_.find(sid);
+    if (it == send_.end())
+        msgsim_panic("wire close of unknown stream ", sid);
+    SendStream &ss = it->second;
+    if (ss.state != SendState::Open)
+        return; // closing a closing/reset stream is a no-op
+    ss.state = SendState::Closing;
+    maybeDetach(sid, ss); // immediate when nothing is in flight
+}
+
+void
+StreamMux::resetStream(std::uint16_t sid)
+{
+    auto it = recv_.find(sid);
+    if (it == recv_.end() || it->second.state != RecvState::Open)
+        return;
+    it->second.state = RecvState::Reset;
+    sendResetFromReceiver(sid);
+}
+
+void
+StreamMux::sendResetFromReceiver(std::uint16_t sid)
+{
+    StreamHeader h;
+    h.sid = sid;
+    h.type = PacketType::Reset;
+    h.window = 0;
+    ++stats_.resetsSent;
+    transmitOn(false, h, {}, false);
+}
+
+// ------------------------------------------------------------------
+// Reception.
+// ------------------------------------------------------------------
+
+void
+StreamMux::onFwdPacket(const std::vector<Word> &words)
+{
+    hostprof::HostScope hs(hostprof::Site::WireDecode);
+    FeatureScope fs(stack_.node(receiver_).acct(), Feature::Framing);
+    Bytes bytes;
+    wordsToBytes(words, bytes);
+    chargeRxChunk(bytes.size());
+    rxDecoder_.push(bytes);
+}
+
+void
+StreamMux::onRevPacket(const std::vector<Word> &words)
+{
+    hostprof::HostScope hs(hostprof::Site::WireDecode);
+    FeatureScope fs(stack_.node(sender_).acct(), Feature::Framing);
+    Bytes bytes;
+    wordsToBytes(words, bytes);
+    if (!offloaded_) {
+        // Control-channel delimiter scan at the sender.
+        Processor &p = stack_.node(sender_).proc();
+        p.regOps(bytes.size());
+        const std::size_t w = (bytes.size() + 3) / 4;
+        for (std::size_t i = 0; i < w; ++i)
+            (void)p.loadWord(txScratch_.buf +
+                             static_cast<Addr>(i % 64));
+    }
+    txDecoder_.push(bytes);
+}
+
+void
+StreamMux::onFwdFrame(const Frame &f)
+{
+    hostprof::HostScope hs(hostprof::Site::WireMux);
+    Node &rcv = stack_.node(receiver_);
+    FeatureScope fs(rcv.acct(), Feature::Framing);
+    chargeRxFrame(f);
+    rcv.proc().regOps(3); // type dispatch + sid table probe
+    const std::uint16_t sid = f.header.sid;
+    switch (f.header.type) {
+      case PacketType::Attach: {
+        // Declarative one-way open: the receiver (re)creates state.
+        recv_[sid] = RecvStream{};
+        ++stats_.attaches;
+        break;
+      }
+      case PacketType::Detach: {
+        auto it = recv_.find(sid);
+        if (it != recv_.end() && it->second.state == RecvState::Open) {
+            if (it->second.ackCount > 0)
+                sendAck(sid, it->second); // final cumulative ack
+            it->second.state = RecvState::Detached;
+            ++stats_.detaches;
+        }
+        break;
+      }
+      case PacketType::Data: {
+        auto it = recv_.find(sid);
+        if (it == recv_.end() ||
+            it->second.state == RecvState::Detached) {
+            // Data for a stream we never attached (or already
+            // retired): drop and abort the sender.
+            ++stats_.deadStreamDrops;
+            sendResetFromReceiver(sid);
+            break;
+        }
+        handleData(f, it->second);
+        break;
+      }
+      case PacketType::Reset: {
+        // Sender-initiated abort.
+        auto it = recv_.find(sid);
+        if (it != recv_.end())
+            it->second.state = RecvState::Reset;
+        break;
+      }
+      default:
+        msgsim_panic("unexpected wire frame type ",
+                     toString(f.header.type), " on the data channel");
+    }
+}
+
+void
+StreamMux::handleData(const Frame &f, RecvStream &rs)
+{
+    const std::uint16_t sid = f.header.sid;
+    if (rs.state == RecvState::Reset) {
+        // In-flight data racing the reset: the contract says discard.
+        ++stats_.dupDrops;
+        if (bugResetDeliver_) {
+            // Seeded bug: keep delivering on the reset stream.
+            ++stats_.deliveredAfterReset;
+            std::vector<Word> payload(f.payload.size() / 4);
+            Reader r(f.payload);
+            for (Word &w : payload)
+                w = r.u32();
+            if (deliverFn_)
+                deliverFn_(sid, f.header.seq, payload);
+        }
+        return;
+    }
+    if (f.header.seq == rs.expected) {
+        std::vector<Word> payload(f.payload.size() / 4);
+        Reader r(f.payload);
+        for (Word &w : payload)
+            w = r.u32();
+        ++rs.expected;
+        ++rs.delivered;
+        ++stats_.dataDelivered;
+        if (deliverFn_)
+            deliverFn_(sid, f.header.seq, payload);
+        ++rs.ackCount;
+        if (rs.ackCount >= opt_.ackEvery)
+            sendAck(sid, rs);
+    } else if (f.header.seq > rs.expected) {
+        // A predecessor was CRC-rejected; the wire layer keeps no
+        // reorder buffer (the channel is in-order), so drop and
+        // prod the sender with a duplicate cumulative ack.
+        ++stats_.gapDrops;
+        sendAck(sid, rs);
+    } else {
+        // Retransmission overlap: already delivered; re-ack.
+        ++stats_.dupDrops;
+        sendAck(sid, rs);
+    }
+}
+
+void
+StreamMux::sendAck(std::uint16_t sid, RecvStream &rs)
+{
+    rs.ackCount = 0;
+    StreamHeader h;
+    h.sid = sid;
+    h.type = PacketType::Ack;
+    h.window = opt_.window;
+    h.seq = rs.expected; // cumulative: everything below is acked
+    ++stats_.wireAcks;
+    transmitOn(false, h, {}, false);
+}
+
+void
+StreamMux::onRevFrame(const Frame &f)
+{
+    hostprof::HostScope hs(hostprof::Site::WireMux);
+    Node &snd = stack_.node(sender_);
+    FeatureScope fs(snd.acct(), Feature::Framing);
+    if (!offloaded_) {
+        Processor &p = snd.proc();
+        const std::size_t bodyBytes =
+            StreamHeader::encodedSize(f.header.type) +
+            f.payload.size() + 4;
+        p.regOps(bodyBytes); // CRC verify
+        for (std::size_t i = 0; i < bodyBytes; ++i)
+            (void)p.loadWord(txScratch_.crcTable +
+                             static_cast<Addr>(i & 0xff));
+        p.regOps(6); // header parse
+        (void)p.loadWord(txScratch_.buf + 0);
+        (void)p.loadWord(txScratch_.buf + 1);
+    } else {
+        snd.proc().regOps(4);
+        (void)snd.proc().loadDouble(txScratch_.desc);
+    }
+    snd.proc().regOps(3); // dispatch + sid probe
+    auto it = send_.find(f.header.sid);
+    if (it == send_.end())
+        return; // control for a forgotten stream: ignore
+    SendStream &ss = it->second;
+    switch (f.header.type) {
+      case PacketType::Ack: {
+        if (ss.state == SendState::Detached ||
+            ss.state == SendState::Reset)
+            break; // late ack after retirement
+        const std::uint32_t cum = f.header.seq;
+        ss.unacked.erase(ss.unacked.begin(),
+                         ss.unacked.lower_bound(cum));
+        pumpBacklog(f.header.sid, ss);
+        maybeDetach(f.header.sid, ss);
+        break;
+      }
+      case PacketType::Reset: {
+        // Receiver aborted: drop everything in flight and deferred.
+        ss.unacked.clear();
+        ss.backlog.clear();
+        ss.state = SendState::Reset;
+        break;
+      }
+      default:
+        msgsim_panic("unexpected wire frame type ",
+                     toString(f.header.type),
+                     " on the control channel");
+    }
+}
+
+// ------------------------------------------------------------------
+// Progress.
+// ------------------------------------------------------------------
+
+bool
+StreamMux::kick()
+{
+    hostprof::HostScope hs(hostprof::Site::WireMux);
+    bool acted = false;
+    // Wire-level timeout model: resend the unacknowledged tail of
+    // every live stream, in sequence order (never corrupted, so the
+    // corruption knob always converges).
+    for (auto &[sid, ss] : send_) {
+        if (ss.state != SendState::Open &&
+            ss.state != SendState::Closing)
+            continue;
+        for (const auto &[seq, payload] : ss.unacked) {
+            StreamHeader h;
+            h.sid = sid;
+            h.type = PacketType::Data;
+            h.window = opt_.window;
+            h.seq = seq;
+            Bytes bytes;
+            payloadToBytes(payload, bytes);
+            ++stats_.wireRetransmits;
+            transmitOn(true, h, bytes, false);
+            acted = true;
+        }
+    }
+    // Receiver: flush withheld grouped wire acks.
+    for (auto &[sid, rs] : recv_) {
+        if (rs.state == RecvState::Open && rs.ackCount > 0) {
+            sendAck(sid, rs);
+            acted = true;
+        }
+    }
+    // Underlying channels: partial hw group acks + the hw timeout
+    // model.
+    if (proto_.channelOpen(fwdChan_)) {
+        proto_.flushGroupAcks(fwdChan_);
+        if (proto_.channelUnacked(fwdChan_) > 0) {
+            proto_.retransmitUnacked(fwdChan_);
+            acted = true;
+        }
+    }
+    if (proto_.channelOpen(revChan_)) {
+        proto_.flushGroupAcks(revChan_);
+        if (proto_.channelUnacked(revChan_) > 0) {
+            proto_.retransmitUnacked(revChan_);
+            acted = true;
+        }
+    }
+    return acted;
+}
+
+bool
+StreamMux::quiescent() const
+{
+    for (const auto &[sid, ss] : send_) {
+        if (ss.state == SendState::Closing)
+            return false;
+        if (!ss.unacked.empty() || !ss.backlog.empty())
+            return false;
+    }
+    if (proto_.channelOpen(fwdChan_) &&
+        (proto_.channelUnacked(fwdChan_) > 0 ||
+         proto_.channelPending(fwdChan_) > 0))
+        return false;
+    if (proto_.channelOpen(revChan_) &&
+        (proto_.channelUnacked(revChan_) > 0 ||
+         proto_.channelPending(revChan_) > 0))
+        return false;
+    return true;
+}
+
+void
+StreamMux::flush()
+{
+    int idle = 0;
+    std::uint64_t lastProgress = 0;
+    while (!quiescent()) {
+        stack_.settle();
+        for (NodeId id = 0; id < stack_.machine().nodeCount(); ++id) {
+            Node &node = stack_.node(id);
+            if (!node.ni().hwRecvPending())
+                continue;
+            FeatureScope fs(node.acct(), Feature::BaseCost);
+            stack_.cmam(id).poll();
+        }
+        stack_.settle();
+        const std::uint64_t progress =
+            stats_.dataDelivered + stats_.wireAcks +
+            stats_.framesSent + stats_.dupDrops + stats_.gapDrops +
+            proto_.channelDelivered(fwdChan_) +
+            proto_.channelDelivered(revChan_);
+        if (progress != lastProgress) {
+            lastProgress = progress;
+            idle = 0;
+            continue;
+        }
+        ++idle;
+        if (idle % 2 == 0)
+            kick();
+        if (idle > 256)
+            msgsim_panic("wire mux flush stalled: ",
+                         stats_.dataDelivered, " delivered, fwd ",
+                         proto_.channelUnacked(fwdChan_),
+                         " hw-unacked");
+    }
+}
+
+// ------------------------------------------------------------------
+// Introspection.
+// ------------------------------------------------------------------
+
+SendState
+StreamMux::sendState(std::uint16_t sid) const
+{
+    auto it = send_.find(sid);
+    if (it == send_.end())
+        msgsim_panic("wire sendState of unknown stream ", sid);
+    return it->second.state;
+}
+
+RecvState
+StreamMux::recvState(std::uint16_t sid) const
+{
+    auto it = recv_.find(sid);
+    if (it == recv_.end())
+        msgsim_panic("wire recvState of unknown stream ", sid);
+    return it->second.state;
+}
+
+std::size_t
+StreamMux::unacked(std::uint16_t sid) const
+{
+    auto it = send_.find(sid);
+    return it == send_.end() ? 0 : it->second.unacked.size();
+}
+
+std::size_t
+StreamMux::backlog(std::uint16_t sid) const
+{
+    auto it = send_.find(sid);
+    return it == send_.end() ? 0 : it->second.backlog.size();
+}
+
+std::uint32_t
+StreamMux::deliveredOn(std::uint16_t sid) const
+{
+    auto it = recv_.find(sid);
+    return it == recv_.end() ? 0 : it->second.delivered;
+}
+
+} // namespace msgsim::wire

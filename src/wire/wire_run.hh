@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The canonical multi-stream wire workload: one StreamMux between a
+ * node pair, S logical streams sending F frames each, round-robin
+ * interleaved so the demultiplexer really multiplexes.  Shared by the
+ * profiler ("wire" protocol), the lab's F1 experiment, the
+ * msgsim-wire CLI and the tests, so every consumer measures the same
+ * exchange.
+ */
+
+#ifndef MSGSIM_WIRE_WIRE_RUN_HH
+#define MSGSIM_WIRE_WIRE_RUN_HH
+
+#include "protocols/result.hh"
+#include "wire/mux.hh"
+
+namespace msgsim::wire
+{
+
+/** Parameters of one wire workload run. */
+struct WireWorkload
+{
+    NodeId sender = 0;
+    NodeId receiver = 1;
+    std::uint32_t streams = 4;         ///< concurrent logical streams
+    std::uint32_t framesPerStream = 8; ///< DATA frames per stream
+    std::uint32_t payloadWords = 6;    ///< words per DATA frame
+    std::uint8_t window = 4;           ///< per-stream sliding window
+    int groupAck = 4;                  ///< underlying hw group ack
+    std::uint32_t ackEvery = 1;        ///< wire acks per N frames
+    std::uint32_t corruptEvery = 0;    ///< CRC-corrupt every Nth frame
+    std::uint64_t fillSeed = 0x5eedf00dULL;
+};
+
+/** Outcome: the standard breakdown plus the wire-layer counters. */
+struct WireRunResult
+{
+    RunResult run;   ///< counts: src = sender, dst = receiver
+    MuxStats wire;   ///< the mux's own counters
+    std::uint64_t crcRejects = 0; ///< receive-side CRC rejections
+    std::uint64_t malformed = 0;  ///< receive-side framing rejections
+};
+
+/** Worst-case wire bytes of one frame with @p payloadWords words. */
+std::size_t frameWireBytes(std::uint32_t payloadWords);
+
+/** Run the workload on @p stack (any substrate) and report. */
+WireRunResult runWireWorkload(Stack &stack, const WireWorkload &w);
+
+} // namespace msgsim::wire
+
+#endif // MSGSIM_WIRE_WIRE_RUN_HH

@@ -1,10 +1,14 @@
 /**
  * @file
- * Compatibility shim: the traffic pattern library grew into its own
- * subsystem (src/traffic — pattern vocabulary, the declarative
- * TrafficEngine, the analytic predictor hookup).  This header keeps
- * the old include path working; new code should include
- * "traffic/traffic.hh" directly.
+ * DEPRECATED compatibility shim — do not use in new code.
+ *
+ * The traffic pattern library grew into its own subsystem
+ * (src/traffic — pattern vocabulary, the declarative TrafficEngine,
+ * the analytic predictor hookup); there is no src/workload/traffic.cc
+ * any more.  This header and the msgsim_workload INTERFACE target
+ * only keep pre-existing include paths and link lines compiling.
+ * Include "traffic/traffic.hh" and link msgsim_traffic directly; the
+ * shim will be removed once no in-tree caller needs it.
  */
 
 #ifndef MSGSIM_WORKLOAD_TRAFFIC_HH

@@ -30,6 +30,12 @@
 #                                msgsim-traffic --predict smokes on
 #                                every substrate, and the incast /
 #                                alltoall bench trajectory entries
+#   ./verify.sh --wire           only the wire-layer gate: F1 (the
+#                                per-feature framing bill) against its
+#                                golden and byte-identical across -j,
+#                                a CRC-corruption recovery smoke, the
+#                                rdma framing-vanishes assertion, and
+#                                the framed-bytes/s trajectory entry
 set -euo pipefail
 
 repo_dir="$(cd "$(dirname "$0")" && pwd)"
@@ -316,6 +322,72 @@ EOF
     echo "traffic ok: W1 drift-free + byte-identical, CLI gate green on all substrates"
 }
 
+check_wire() {
+    local wire="$repo_dir/build/src/wire/msgsim-wire"
+    local lab="$repo_dir/build/src/lab/msgsim-lab"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    # F1: the per-feature framing bill on all four substrates, clean
+    # and under CRC corruption, must reproduce its golden and be
+    # byte-identical across -j.
+    (cd "$repo_dir" && "$lab" F1 --check-golden --quiet)
+    (cd "$repo_dir" && "$lab" F1 -j 1 --quiet --json-out="$tmpdir/j1")
+    (cd "$repo_dir" && "$lab" F1 -j 8 --quiet --json-out="$tmpdir/j8")
+    cmp "$tmpdir/j1/F1.json" "$tmpdir/j8/F1.json"
+
+    # CRC-corruption smoke: flipping every 3rd DATA frame's CRC must
+    # produce rejects, wire retransmits, and still a complete
+    # in-order delivery — plus the rdma offload assertion: the same
+    # clean workload's framing bill must collapse (>= 10x) on rdma
+    # while the classic four columns stay identical.
+    "$wire" --substrate=cm5 --corrupt-every=3 --quiet \
+        --json-out="$tmpdir/corrupt.json"
+    "$wire" --substrate=cm5 --quiet --json-out="$tmpdir/cm5.json"
+    "$wire" --substrate=rdma --quiet --json-out="$tmpdir/rdma.json"
+    python3 - "$tmpdir/corrupt.json" "$tmpdir/cm5.json" \
+        "$tmpdir/rdma.json" <<'EOF'
+import json, sys
+
+def row(path):
+    doc = json.load(open(path))
+    return dict(zip(doc["columns"], doc["rows"][0]))
+
+corrupt, cm5, rdma = (row(p) for p in sys.argv[1:4])
+assert corrupt["ok"] == "ok", corrupt
+assert corrupt["crc rej"] > 0, corrupt
+assert corrupt["retx"] > 0, corrupt
+assert corrupt["delivered"] == corrupt["frames"], corrupt
+
+assert cm5["ok"] == "ok" and rdma["ok"] == "ok"
+assert rdma["framing"] * 10 <= cm5["framing"], (cm5, rdma)
+for col in ("base", "buffer", "inorder", "fault", "delivered"):
+    assert cm5[col] == rdma[col], (col, cm5, rdma)
+
+print(f"wire ok: crc rej {corrupt['crc rej']}, retx {corrupt['retx']}, "
+      f"framing cm5 {cm5['framing']} vs rdma {rdma['framing']}")
+EOF
+
+    # Framed-bytes/s wall-clock point for the perf trajectory.
+    (cd "$repo_dir" && "$wire" --substrate=cm5 --streams=8 \
+        --frames=64 --quiet --bench-out=BENCH_throughput.json \
+        --bench-label=wire)
+    python3 - "$repo_dir/BENCH_throughput.json" <<'EOF'
+import json, sys
+labels = [e["label"] for e in json.load(open(sys.argv[1]))["entries"]]
+assert "wire" in labels, labels
+print(f"bench trajectory ok: {labels}")
+EOF
+    echo "wire ok: F1 golden + byte-identical, corruption recovered, rdma offload holds"
+}
+
+if [[ "${1:-}" == "--wire" ]]; then
+    check_wire
+    echo "verify --wire: OK"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--traffic" ]]; then
     check_traffic
     echo "verify --traffic: OK"
@@ -367,4 +439,5 @@ check_model_checker
 check_prof
 check_hostprof
 check_traffic
+check_wire
 echo "verify: OK"
