@@ -32,6 +32,7 @@ Cm5Network::injectImpl(Packet &&pkt)
     switch (faults_.apply(pkt)) {
       case FaultAction::Drop:
         ++stats_.dropped;
+        noteAbsorbed(pkt.dst);
         trace(TraceEvent::Drop, pkt);
         return true; // accepted by the network, silently lost inside
       case FaultAction::Corrupt:

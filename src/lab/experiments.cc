@@ -30,6 +30,7 @@
 #include "protocols/stream.hh"
 #include "model/traffic_model.hh"
 #include "rdmanet/rdma_network.hh"
+#include "tele/tele_run.hh"
 #include "traffic/engine.hh"
 #include "traffic/traffic.hh"
 #include "wire/wire_run.hh"
@@ -1843,6 +1844,85 @@ makeF1()
     return e;
 }
 
+// ------------------------------------------------------------------
+// O1 — time-series telemetry: the canonical congestion scenarios run
+// twice, bare and with the sampler attached.  The golden pins (a)
+// every simulation result — ticks, completions, backpressure,
+// instructions, latency percentiles — which must be bit-identical
+// sampler on or off (the zero-perturbation contract, folded into the
+// check cell), and (b) the sampler's full track bytes via
+// tracksDigest(), so any drift in probe coverage, sample instants or
+// serialization shows up as a golden diff.
+// ------------------------------------------------------------------
+
+Experiment
+makeO1()
+{
+    Experiment e;
+    e.name = "O1";
+    e.title = "Time-series telemetry: congestion scenarios sampled "
+              "and bare, with bottleneck attribution and golden-"
+              "pinned track bytes";
+    e.columns = {"scenario", "substrate", "ticks", "completions",
+                 "backpressure", "instr", "lat p50", "lat p99",
+                 "tracks", "snapshots", "sat win", "top bottleneck",
+                 "digest", "check"};
+    e.points = {"incast-cm5", "incast-rdma", "wire-cm5"};
+    e.notes = {"Each point runs its scenario twice — without and "
+               "with a TeleSession attached (period 16) — and the "
+               "check cell fails unless every simulation-result "
+               "field matches exactly: attaching the sampler must "
+               "not perturb the run.",
+               "'top bottleneck' is the attribution report's "
+               "verdict: the incast names the destination NI recv "
+               "ring on cm5 and CQ-depth backpressure on rdma; the "
+               "wire run names a stream send window.",
+               "'digest' hashes the canonical track serialization "
+               "(every sample of every track), pinning the sampled "
+               "series byte-for-byte."};
+    e.runPoint = [](std::size_t pi) {
+        static const char *kScen[] = {"incast", "incast", "wire"};
+        static constexpr Substrate kSub[] = {
+            Substrate::Cm5, Substrate::Rdma, Substrate::Cm5};
+        tele::ScenarioOptions opt;
+        opt.scenario = kScen[pi];
+        opt.substrate = kSub[pi];
+        const tele::ScenarioResult bare =
+            tele::runScenario(opt, nullptr);
+        tele::TeleSession sampler(
+            {opt.period, opt.ringCapacity});
+        const tele::ScenarioResult sampled =
+            tele::runScenario(opt, &sampler);
+
+        const bool unperturbed =
+            bare.ok == sampled.ok &&
+            bare.elapsed == sampled.elapsed &&
+            bare.instrTotal == sampled.instrTotal &&
+            bare.completions == sampled.completions &&
+            bare.backpressure == sampled.backpressure &&
+            bare.latencyP50 == sampled.latencyP50 &&
+            bare.latencyP95 == sampled.latencyP95 &&
+            bare.latencyP99 == sampled.latencyP99;
+        const bool ok = sampled.ok && unperturbed &&
+                        !sampled.topResource.empty() &&
+                        sampled.saturatedWindows > 0;
+
+        std::vector<Row> rows;
+        rows.push_back(
+            {T(kScen[pi]), T(toString(kSub[pi])),
+             I(sampled.elapsed), I(sampled.completions),
+             I(sampled.backpressure), R(sampled.instrTotal),
+             R(sampled.latencyP50), R(sampled.latencyP99),
+             I(sampled.trackCount), I(sampled.snapshots),
+             I(sampled.saturatedWindows),
+             T(sampled.topResource.empty() ? "-"
+                                           : sampled.topResource),
+             T(sampled.digest), okCell(ok)});
+        return rows;
+    };
+    return e;
+}
+
 void
 registerBuiltins(ExperimentRegistry &reg)
 {
@@ -1875,6 +1955,7 @@ registerBuiltins(ExperimentRegistry &reg)
     reg.add(makeH1());
     reg.add(makeW1());
     reg.add(makeF1());
+    reg.add(makeO1());
 }
 
 } // namespace

@@ -10,6 +10,13 @@ void
 Network::attach(NodeId id, DeliverFn fn)
 {
     sinks_[id] = std::move(fn);
+    // Boot-time sizing of the per-destination link counters: the hot
+    // paths below only ever increment, never allocate.
+    if (id >= injectedTo_.size()) {
+        injectedTo_.resize(id + 1, 0);
+        settledTo_.resize(id + 1, 0);
+        deliveredTo_.resize(id + 1, 0);
+    }
 }
 
 bool
@@ -18,6 +25,7 @@ Network::inject(Packet &&pkt)
     hostprof::HostScope hs(hostprof::Site::NetInject);
     const auto flow =
         std::make_tuple(pkt.src, pkt.dst, static_cast<int>(pkt.vnet));
+    const NodeId flowDst = pkt.dst;
     pkt.injectSeq = nextInjectSeq_;
     pkt.flowIndex = flowCounters_[flow];
     pkt.seal();
@@ -34,6 +42,8 @@ Network::inject(Packet &&pkt)
     ++nextInjectSeq_;
     ++flowCounters_[flow];
     ++stats_.injected;
+    if (flowDst < injectedTo_.size())
+        ++injectedTo_[flowDst];
     return true;
 }
 
@@ -47,6 +57,7 @@ void
 Network::gateDrop(const Packet &pkt)
 {
     ++stats_.dropped;
+    noteAbsorbed(pkt.dst);
     trace(TraceEvent::Drop, pkt);
 }
 
@@ -86,9 +97,11 @@ Network::presentToSink(Packet &&pkt)
         meta.injectSeq = pkt.injectSeq;
         meta.lineage = pkt.lineage;
     }
+    const NodeId sinkDst = pkt.dst;
     const bool accepted = it->second(std::move(pkt));
     if (accepted) {
         ++stats_.delivered;
+        noteDelivered(sinkDst);
         trace(TraceEvent::Deliver, meta);
     } else {
         trace(TraceEvent::Reject, meta);

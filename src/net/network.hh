@@ -142,6 +142,33 @@ class Network
     /** Traffic statistics so far. */
     const NetStats &stats() const { return stats_; }
 
+    // ------------------------------------------------------------
+    // Per-destination-link occupancy (telemetry; never charged).
+    // A packet is "in flight toward d" from the moment inject()
+    // accepts it until a sink accepts it, the NIC dispatches it, or
+    // a fault absorbs it.  Maintained as two preallocated counters
+    // per node (sized at attach() time, so the hot paths never
+    // allocate) — the probes the src/tele sampler reads.
+    // ------------------------------------------------------------
+
+    /** Packets currently inside the fabric heading for @p dst. */
+    std::uint64_t
+    inFlightTo(NodeId dst) const
+    {
+        if (dst >= injectedTo_.size())
+            return 0;
+        const std::uint64_t in = injectedTo_[dst];
+        const std::uint64_t out = settledTo_[dst];
+        return in > out ? in - out : 0;
+    }
+
+    /** Packets delivered to @p dst (sink-accepted or NIC-dispatched). */
+    std::uint64_t
+    deliveredTo(NodeId dst) const
+    {
+        return dst < deliveredTo_.size() ? deliveredTo_[dst] : 0;
+    }
+
     /** The simulator driving this network. */
     Simulator &sim() { return sim_; }
 
@@ -202,6 +229,31 @@ class Network
      */
     bool presentToSink(Packet &&pkt);
 
+    /**
+     * A packet bound for @p dst left the fabric by delivery outside
+     * presentToSink (nicam's on-NIC handler dispatch).
+     */
+    void
+    noteDelivered(NodeId dst)
+    {
+        if (dst < settledTo_.size()) {
+            ++settledTo_[dst];
+            ++deliveredTo_[dst];
+        }
+    }
+
+    /**
+     * A packet bound for @p dst was absorbed inside the fabric (fault
+     * drop, NIC-side CRC discard): no longer in flight, never
+     * delivered.
+     */
+    void
+    noteAbsorbed(NodeId dst)
+    {
+        if (dst < settledTo_.size())
+            ++settledTo_[dst];
+    }
+
     Simulator &sim_;
     NetStats stats_;
 
@@ -209,6 +261,10 @@ class Network
     PacketTracer *tracer_ = nullptr;
     ScheduleGate *gate_ = nullptr;
     std::map<NodeId, DeliverFn> sinks_;
+    /// Per-destination link counters (boot-sized in attach()).
+    std::vector<std::uint64_t> injectedTo_;
+    std::vector<std::uint64_t> settledTo_;
+    std::vector<std::uint64_t> deliveredTo_;
     std::uint64_t nextInjectSeq_ = 0;
     std::map<std::tuple<NodeId, NodeId, int>, std::uint64_t>
         flowCounters_;

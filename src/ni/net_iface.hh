@@ -212,6 +212,12 @@ class NetIface
     /** Packets whose injection failed at least once (send_ok = 0). */
     std::uint64_t sendBusyEvents() const { return sendBusyEvents_; }
 
+    /** True while a send is staged but not yet launched (uncharged). */
+    bool hwSendStaged() const { return staged_.has_value(); }
+
+    /** Receive-FIFO capacity per virtual network (size_t(-1) = inf). */
+    std::size_t recvCapacity() const { return cfg_.recvCapacity; }
+
     /** Optional hook invoked after a packet is queued (event mode). */
     void setArrivalHook(std::function<void()> fn)
     {

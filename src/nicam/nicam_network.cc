@@ -76,6 +76,7 @@ NicamNetwork::injectImpl(Packet &&pkt)
     switch (faults_.apply(pkt)) {
       case FaultAction::Drop:
         ++stats_.dropped;
+        noteAbsorbed(pkt.dst);
         trace(TraceEvent::Drop, pkt);
         return true; // accepted by the network, silently lost inside
       case FaultAction::Corrupt:
@@ -156,9 +157,11 @@ NicamNetwork::tryDeliver(Packet &&pkt)
             // happens before the handler fires.
             if (!pkt.checksumOk()) {
                 ++offloadCrcDrops_;
+                noteAbsorbed(pkt.dst);
                 return; // consumed and dropped, as the NI would
             }
             ++stats_.delivered;
+            noteDelivered(pkt.dst);
             trace(TraceEvent::Deliver, pkt);
             ++offloadHits_;
             ++entry->second.hits;

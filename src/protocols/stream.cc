@@ -651,6 +651,13 @@ StreamProtocol::channelPending(Word chan) const
     return channels_.at(chan).pending.size();
 }
 
+std::size_t
+StreamProtocol::channelBacklog(Word chan) const
+{
+    const Channel &ch = channels_.at(chan);
+    return ch.sendQueue.size() - ch.nextToSend;
+}
+
 std::uint32_t
 StreamProtocol::channelRetxSlots(Word chan) const
 {

@@ -116,6 +116,9 @@ class StreamProtocol
     /** Reorder-buffer occupancy (packets held) on a channel. */
     std::size_t channelPending(Word chan) const;
 
+    /** Window backlog: queued sends not yet injected on a channel. */
+    std::size_t channelBacklog(Word chan) const;
+
     /** Retransmission-ring capacity of a channel, in packets. */
     std::uint32_t channelRetxSlots(Word chan) const;
 

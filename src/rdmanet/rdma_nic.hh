@@ -145,6 +145,22 @@ class RdmaNic
     std::uint64_t sendStalls() const { return sendStalls_; }
     std::size_t cqDepth() const { return cq_.size(); }
 
+    /** Receive WQEs posted but not yet consumed, across all QPs. */
+    std::size_t
+    postedRecvCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &[qp, q] : postedRecvs_)
+            n += q.size();
+        return n;
+    }
+
+    /** Send WQEs ever posted (doorbells rung). */
+    std::uint64_t sendsPosted() const { return sendRingIdx_; }
+
+    /** The NIC's configuration (CQ capacity etc.). */
+    const Config &config() const { return cfg_; }
+
   private:
     struct QpState
     {

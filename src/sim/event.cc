@@ -2,6 +2,7 @@
 
 #include "hostprof/hostprof.hh"
 #include "sim/metrics.hh"
+#include "sim/tick_hook.hh"
 #include "sim/trace_session.hh"
 
 namespace msgsim
@@ -23,8 +24,15 @@ Simulator::step()
         hostprof::HostScope popScope(hostprof::Site::SimHeapPop);
         action = queue_.pop(when);
     }
-    if (when != now_)
+    if (when != now_) {
         ++tickAdvances_;
+        // Clock-advance observation point: state at tick now_ is
+        // final, the event scheduled for `when` has not run yet.
+        // One thread-local pointer test when nothing is attached;
+        // the hook never schedules events or touches Accounting.
+        if (TickHooks *th = TickHooks::current())
+            th->onTickAdvance(*this, now_, when);
+    }
     now_ = when;
     ++eventsDispatched_;
     const std::size_t depth = queue_.size();

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/log.hh"
+
 namespace msgsim
 {
 
@@ -56,6 +58,31 @@ class RunningStat
     clear()
     {
         *this = RunningStat();
+    }
+
+    /**
+     * Fold another collector into this one (Chan et al. parallel
+     * Welford merge).  count/sum/min/max combine exactly; mean and
+     * variance combine up to floating-point rounding.
+     */
+    void
+    absorb(const RunningStat &other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        const double na = static_cast<double>(n_);
+        const double nb = static_cast<double>(other.n_);
+        const double delta = other.mean_ - mean_;
+        mean_ += delta * nb / (na + nb);
+        m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+        n_ += other.n_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
     }
 
   private:
@@ -100,6 +127,33 @@ class Histogram
 
     const std::vector<std::uint64_t> &bins() const { return counts_; }
     const RunningStat &stat() const { return stat_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** True when @p other has the same [lo, hi) range and bin count. */
+    bool
+    sameShape(const Histogram &other) const
+    {
+        return lo_ == other.lo_ && hi_ == other.hi_ &&
+               counts_.size() == other.counts_.size();
+    }
+
+    /**
+     * Fold @p other into this histogram (bin-wise count addition plus
+     * the combined running statistics).  Both histograms must have
+     * the same shape; merging is associative and commutative on the
+     * bin counts, min/max, count and sum (mean/percentiles derived
+     * from them are therefore order-independent too).
+     */
+    void
+    merge(const Histogram &other)
+    {
+        if (!sameShape(other))
+            msgsim_panic("Histogram::merge shape mismatch");
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        stat_.absorb(other.stat_);
+    }
     double binLow(std::size_t i) const
     {
         return lo_ + (hi_ - lo_) * static_cast<double>(i) /
@@ -163,6 +217,66 @@ class Histogram
     double hi_;
     std::vector<std::uint64_t> counts_;
     RunningStat stat_;
+};
+
+/**
+ * Time-windowed fixed-bin histograms: samples are tagged with a
+ * timestamp and land in the histogram of window `t / windowTicks`,
+ * all windows sharing one fixed [lo, hi) x bins shape so any subset
+ * can be merge()d into an aggregate (per-window percentiles and the
+ * overall distribution from one pass over the data).
+ */
+class WindowedHistogram
+{
+  public:
+    WindowedHistogram(std::uint64_t windowTicks, double lo, double hi,
+                      std::size_t bins)
+        : windowTicks_(windowTicks ? windowTicks : 1), lo_(lo),
+          hi_(hi), bins_(bins ? bins : 1), total_(lo, hi, bins)
+    {
+    }
+
+    /** Record @p x at time @p t. */
+    void
+    sample(std::uint64_t t, double x)
+    {
+        const std::size_t w =
+            static_cast<std::size_t>(t / windowTicks_);
+        while (windows_.size() <= w)
+            windows_.emplace_back(lo_, hi_, bins_);
+        windows_[w].sample(x);
+        total_.sample(x);
+    }
+
+    std::uint64_t windowTicks() const { return windowTicks_; }
+
+    /** Number of windows spanned so far (trailing empties included). */
+    std::size_t windowCount() const { return windows_.size(); }
+
+    /** The histogram of window @p w (must be < windowCount()). */
+    const Histogram &window(std::size_t w) const { return windows_[w]; }
+
+    /** The all-windows aggregate. */
+    const Histogram &total() const { return total_; }
+
+    /** Merge of windows [first, first+count); empty-shaped if none. */
+    Histogram
+    mergeRange(std::size_t first, std::size_t count) const
+    {
+        Histogram out(lo_, hi_, bins_);
+        for (std::size_t w = first;
+             w < windows_.size() && w < first + count; ++w)
+            out.merge(windows_[w]);
+        return out;
+    }
+
+  private:
+    std::uint64_t windowTicks_;
+    double lo_;
+    double hi_;
+    std::size_t bins_;
+    std::vector<Histogram> windows_;
+    Histogram total_;
 };
 
 } // namespace msgsim

@@ -1,0 +1,31 @@
+#include "sim/tick_hook.hh"
+
+#include "sim/log.hh"
+
+namespace msgsim
+{
+
+thread_local TickHooks *TickHooks::current_ = nullptr;
+
+TickHooks::~TickHooks()
+{
+    detachHooks();
+}
+
+void
+TickHooks::attachHooks()
+{
+    if (current_ != nullptr && current_ != this)
+        msgsim_fatal("another TickHooks observer is already attached "
+                     "on this thread");
+    current_ = this;
+}
+
+void
+TickHooks::detachHooks()
+{
+    if (current_ == this)
+        current_ = nullptr;
+}
+
+} // namespace msgsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Clock-advance observation hook for the simulation kernel.
+ *
+ * A TickHooks implementation (the telemetry sampler in src/tele) is
+ * notified whenever the Simulator's clock is about to move forward —
+ * the one moment when all state at the old tick is final and the
+ * state observed is exactly "end of tick `prev`".  The hook fires
+ * *between* events, never schedules anything, and never touches
+ * Accounting, so an attached observer cannot perturb event counts,
+ * dispatch order, or instruction totals.
+ *
+ * Attachment follows the hostprof discipline rather than the
+ * TraceSession one: the current pointer is thread-local, so lab
+ * sweep workers running independent simulators in parallel can each
+ * attach their own sampler without racing (byte-identical across
+ * -j).  When nothing is attached the hook site in Simulator::step()
+ * is a single thread-local pointer test.
+ */
+
+#ifndef MSGSIM_SIM_TICK_HOOK_HH
+#define MSGSIM_SIM_TICK_HOOK_HH
+
+#include "core/types.hh"
+
+namespace msgsim
+{
+
+class Simulator;
+
+/**
+ * Abstract clock-advance observer.
+ */
+class TickHooks
+{
+  public:
+    virtual ~TickHooks();
+
+    /**
+     * The clock of @p sim is moving from @p prev to @p next
+     * (prev < next).  All events at ticks <= prev have executed;
+     * the event that caused the advance has not run yet.
+     */
+    virtual void onTickAdvance(const Simulator &sim, Tick prev,
+                               Tick next) = 0;
+
+    /** The attached hooks on this thread, or nullptr (fast path). */
+    static TickHooks *current() { return current_; }
+
+  protected:
+    /** Make this instance the thread's observer (at most one). */
+    void attachHooks();
+
+    /** Stop observing (no-op when not attached). */
+    void detachHooks();
+
+  private:
+    static thread_local TickHooks *current_;
+};
+
+} // namespace msgsim
+
+#endif // MSGSIM_SIM_TICK_HOOK_HH

@@ -120,9 +120,16 @@ TraceSession::instantAt(Tick when, NodeId node, const char *cat,
 void
 TraceSession::counterSample(NodeId node, const char *name, double value)
 {
+    counterSampleAt(now(), node, name, value);
+}
+
+void
+TraceSession::counterSampleAt(Tick when, NodeId node, const char *name,
+                              double value)
+{
     Record rec;
     rec.kind = Kind::Counter;
-    rec.start = now();
+    rec.start = when;
     rec.end = rec.start;
     rec.node = node;
     rec.cat = "counter";

@@ -149,6 +149,14 @@ class TraceSession
     /** Sample a counter attributed to one node's track. */
     void counterSample(NodeId node, const char *name, double value);
 
+    /**
+     * Sample a counter with an explicit timestamp (used when merging
+     * externally sampled series — e.g. the telemetry engine's tracks
+     * — onto this timeline after the fact).
+     */
+    void counterSampleAt(Tick when, NodeId node, const char *name,
+                         double value);
+
     /** Sample a global (machine-wide) counter. */
     void
     counterSample(const char *name, double value)

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Time-binned congestion heatmap over a TeleSession's tracks.
+ *
+ * Each track becomes one row; the sampled time range is split into
+ * fixed-width bins.  Gauge tracks show the maximum level seen in the
+ * bin (forward-filled between samples — the series is a step
+ * function, so a bin with no samples holds the last sampled value);
+ * counter tracks show the per-bin delta (activity rate).  Rendered
+ * as ASCII (one character per bin, the histogram level alphabet) and
+ * as JSON for downstream tools.
+ */
+
+#ifndef MSGSIM_TELE_HEATMAP_HH
+#define MSGSIM_TELE_HEATMAP_HH
+
+#include <string>
+#include <vector>
+
+#include "tele/tele.hh"
+
+namespace msgsim::tele
+{
+
+/** One rendered row. */
+struct HeatmapRow
+{
+    std::size_t track = 0;    ///< index into the session's tracks
+    std::string label;        ///< "ni.recv_ring[3]"
+    ProbeKind kind = ProbeKind::Gauge;
+    double capacity = 0.0;    ///< gauge saturation denominator
+    std::vector<double> values; ///< one per bin
+    double peak = 0.0;        ///< max over values
+};
+
+/** The binned map. */
+struct Heatmap
+{
+    Tick binTicks = 0;   ///< width of one bin
+    Tick origin = 0;     ///< tick of the left edge of bin 0
+    std::size_t bins = 0;
+    std::vector<HeatmapRow> rows;
+
+    /** Multi-line ASCII rendering (label column + level cells). */
+    std::string renderAscii() const;
+
+    /** JSON document (bin_ticks, origin, rows[]). */
+    Json toJson() const;
+};
+
+/**
+ * Build a heatmap from @p session over its sampled range, using at
+ * most @p maxBins bins (bin width is rounded up to a whole multiple
+ * of the sample period).  Tracks with no retained samples are
+ * omitted.
+ */
+Heatmap buildHeatmap(const TeleSession &session,
+                     std::size_t maxBins = 64);
+
+} // namespace msgsim::tele
+
+#endif // MSGSIM_TELE_HEATMAP_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bottleneck attribution: scan a TeleSession's capacity-bounded
+ * gauge tracks window by window and name the saturated resource —
+ * the dynamic complement to the static per-feature cost matrix.
+ *
+ * For each time window the report finds the track with the highest
+ * occupancy fraction (window max / capacity); windows whose leader
+ * meets the saturation threshold become report entries like
+ *
+ *     ticks 12288-16383: node 0 ni.recv_ring 93.8% of 64 — NI recv
+ *     ring saturated
+ *
+ * so an incast collapse reads as the destination NI receive ring
+ * pinned at capacity on cm5, and as completion-queue backpressure
+ * when the same scenario runs on the verbs stack.
+ */
+
+#ifndef MSGSIM_TELE_REPORT_HH
+#define MSGSIM_TELE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "tele/tele.hh"
+
+namespace msgsim::tele
+{
+
+/** One saturated window. */
+struct SaturatedWindow
+{
+    Tick begin = 0;        ///< first tick of the window
+    Tick end = 0;          ///< last tick of the window (inclusive)
+    std::size_t track = 0; ///< index into the session's tracks
+    std::string label;     ///< "ni.recv_ring[0]"
+    NodeId node = invalidNode;
+    double occupancy = 0.0; ///< window max level
+    double capacity = 0.0;
+    double fraction = 0.0;  ///< occupancy / capacity
+    std::string resource;   ///< the TrackDesc's resource name
+};
+
+/** The report. */
+struct BottleneckReport
+{
+    Tick windowTicks = 0;
+    double threshold = 0.0;
+    std::size_t windows = 0; ///< windows scanned
+    std::vector<SaturatedWindow> saturated;
+
+    /**
+     * Label of the track saturated in the most windows (empty when
+     * nothing saturated) and how many windows it led.
+     */
+    std::string topResourceLabel;
+    std::size_t topResourceWindows = 0;
+
+    /** Human-readable multi-line rendering. */
+    std::string renderText() const;
+
+    /** JSON document. */
+    Json toJson() const;
+};
+
+/**
+ * Scan @p session with windows of @p windowTicks (rounded up to a
+ * whole multiple of the sample period; 0 = pick ~16 windows over the
+ * sampled range) and saturation threshold @p threshold.
+ */
+BottleneckReport buildReport(const TeleSession &session,
+                             Tick windowTicks = 0,
+                             double threshold = 0.9);
+
+} // namespace msgsim::tele
+
+#endif // MSGSIM_TELE_REPORT_HH

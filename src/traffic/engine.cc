@@ -113,6 +113,19 @@ TrafficResult::measuredGrandTotal() const
     return measuredTotal().total();
 }
 
+WindowedHistogram
+TrafficResult::latencyHistogram(std::uint64_t windowTicks,
+                                std::size_t bins) const
+{
+    double hi = 1.0;
+    for (const MsgTiming &t : timings)
+        hi = std::max(hi, static_cast<double>(t.latency()) + 1.0);
+    WindowedHistogram wh(windowTicks, 0.0, hi, bins);
+    for (const MsgTiming &t : timings)
+        wh.sample(t.birth, static_cast<double>(t.latency()));
+    return wh;
+}
+
 TrafficEngine::TrafficEngine(Stack &stack) : stack_(stack)
 {
     const std::uint32_t n = stack_.machine().nodeCount();
@@ -138,12 +151,17 @@ void
 TrafficEngine::consume(NodeId self, NodeId src, Word meta, Word pay)
 {
     // Uncharged host-side verification bookkeeping (the charged
-    // verify happened at arrival, under handlerBaseReg).
-    (void)self;
-    (void)src;
-    (void)meta;
+    // verify happened at arrival, under handlerBaseReg).  Completion
+    // timing writes into preallocated arrays only — this path runs
+    // inside hostprof scopes and must not allocate.
     (void)pay;
     ++consumed_;
+    if (spec_->proto == TrafficProto::Acked)
+        return; // the loop closes at ack consumption instead
+    const std::size_t idx =
+        msgIndex(src, self, metaSeq(meta) / latFrags_);
+    if (++msgFrags_[idx] == latFrags_)
+        msgDone_[idx] = stack_.sim().now();
 }
 
 void
@@ -246,6 +264,11 @@ TrafficEngine::onAck(NodeId self, NodeId src,
     p.regOps(tc::ackConsumeReg);
     (void)p.loadWord(scratchAddr_[self]);
     ++acksGot_[self];
+
+    // Ack consumption closes the message's loop at its source.
+    const std::size_t idx = msgIndex(self, src, metaSeq(meta));
+    msgFrags_[idx] = latFrags_;
+    msgDone_[idx] = stack_.sim().now();
 }
 
 TrafficResult
@@ -277,6 +300,18 @@ TrafficEngine::run(const TrafficSpec &spec)
         n, std::vector<std::map<std::uint32_t, Word>>(n));
     fragsGot_.assign(n, std::vector<std::uint32_t>(n, 0));
     acksGot_.assign(n, 0);
+
+    // Latency bookkeeping: a flow (src, dst) carries at most
+    // messagesPerNode messages, so [src][dst][msg] flat arrays cover
+    // every message.  Sized here, before any hostprof scope opens.
+    latFrags_ = frags;
+    latMsgs_ = spec.messagesPerNode;
+    latNodes_ = n;
+    const std::size_t latSlots = static_cast<std::size_t>(n) * n *
+                                 spec.messagesPerNode;
+    msgBirth_.assign(latSlots, 0);
+    msgDone_.assign(latSlots, 0);
+    msgFrags_.assign(latSlots, 0);
 
     std::vector<InstrCounter> before(n);
     for (NodeId id = 0; id < n; ++id)
@@ -319,6 +354,10 @@ TrafficEngine::run(const TrafficSpec &spec)
                 Node &node = stack_.node(src);
                 for (std::uint32_t f = 0; f < frags; ++f) {
                     const std::uint32_t fragSeq = flowSeq[src][dst]++;
+                    if (f == 0)
+                        msgBirth_[msgIndex(src, dst,
+                                           fragSeq / frags)] =
+                            stack_.sim().now();
                     const Word meta = packMeta(src, fragSeq);
                     const Word pay =
                         static_cast<Word>(payRng.next());
@@ -367,6 +406,14 @@ TrafficEngine::run(const TrafficSpec &spec)
         for (const auto &s : row)
             if (!s.empty())
                 stashesEmpty = false;
+
+    // Collect the completed-message timings in flow order (no
+    // hostprof scope is open here, so growing the vector is fine).
+    res.timings.reserve(static_cast<std::size_t>(n) *
+                        spec.messagesPerNode);
+    for (std::size_t i = 0; i < msgFrags_.size(); ++i)
+        if (msgFrags_[i] == latFrags_)
+            res.timings.push_back(MsgTiming{msgBirth_[i], msgDone_[i]});
 
     double maxInstr = 0;
     for (NodeId id = 0; id < n; ++id) {

@@ -93,6 +93,20 @@ StackConfig trafficStackConfig(const TrafficSpec &spec,
                                Substrate substrate);
 
 /**
+ * One message's closed-loop timing: @p birth is the tick its first
+ * fragment was sent; @p done is the tick the loop closed — the
+ * receiver consuming the last fragment (am/seq) or the source
+ * consuming the message's ack (acked).
+ */
+struct MsgTiming
+{
+    Tick birth = 0;
+    Tick done = 0;
+
+    Tick latency() const { return done - birth; }
+};
+
+/**
  * Outcome of one engine run: correctness, structural counts (the
  * model inputs), the measured per-feature bill, and the usual
  * per-node statistics.
@@ -107,11 +121,26 @@ struct TrafficResult
     RunningStat perNodeInstr;
     double maxOverMean = 0;
 
+    /**
+     * Per-message closed-loop timings, ordered by (source,
+     * destination, message index) — the latency-percentile input.
+     */
+    std::vector<MsgTiming> timings;
+
     /** Measured machine-wide per-feature bill (category-resolved). */
     CatCost measured[numPaperFeatures];
 
     CatCost measuredTotal() const;
     double measuredGrandTotal() const;
+
+    /**
+     * The timings as a birth-tick-windowed latency histogram
+     * (window width @p windowTicks; 0 = one window).  Range is
+     * [0, max latency + 1), so percentiles come straight from
+     * Histogram::percentile on total() or any mergeRange().
+     */
+    WindowedHistogram latencyHistogram(std::uint64_t windowTicks,
+                                       std::size_t bins = 64) const;
 };
 
 /**
@@ -129,6 +158,16 @@ class TrafficEngine
 
     /** Run @p spec; fatal if spec.nodes != the stack's node count. */
     TrafficResult run(const TrafficSpec &spec);
+
+    // ------------------------------------------------------------
+    // Live run state (telemetry probes; never charged).
+    // ------------------------------------------------------------
+
+    /** Fragments injected so far in the current run. */
+    std::uint64_t fragmentsSent() const { return shape_.fragmentsSent; }
+
+    /** Fragments consumed by receivers so far in the current run. */
+    std::uint64_t fragmentsConsumed() const { return consumed_; }
 
   private:
     void onData(NodeId self, NodeId src,
@@ -157,6 +196,24 @@ class TrafficEngine
     /// acked proto: [src] acks consumed.
     std::vector<std::uint32_t> acksGot_;
     std::uint64_t consumed_ = 0;
+
+    // Closed-loop latency bookkeeping.  Flat [src][dst][msg] arrays,
+    // preallocated in run() so the charged send/consume paths only
+    // index — no allocation inside hostprof scopes.
+    std::uint32_t latFrags_ = 1;  ///< fragments per message
+    std::uint32_t latMsgs_ = 0;   ///< messages per node
+    std::uint32_t latNodes_ = 0;
+    std::vector<Tick> msgBirth_;
+    std::vector<Tick> msgDone_;
+    std::vector<std::uint32_t> msgFrags_;
+
+    std::size_t
+    msgIndex(NodeId src, NodeId dst, std::uint32_t m) const
+    {
+        return (static_cast<std::size_t>(src) * latNodes_ + dst) *
+                   latMsgs_ +
+               m;
+    }
 };
 
 } // namespace msgsim

@@ -203,7 +203,9 @@ main(int argc, char **argv)
     t.columns = {"substrate", "pattern",  "protocol", "nodes",
                  "msgs/node", "frags",    "polls",    "ooo",
                  "acks",      "ticks",    "instr/node", "max/mean",
-                 "hw retries", "ok"};
+                 "hw retries", "lat p50",  "lat p95",  "lat p99",
+                 "ok"};
+    const Histogram lat = res.latencyHistogram(0).total();
     t.addRow({lab::Cell::text(opt.substrate),
               lab::Cell::text(opt.pattern),
               lab::Cell::text(opt.proto),
@@ -217,6 +219,9 @@ main(int argc, char **argv)
               lab::Cell::real(res.perNodeInstr.mean()),
               lab::Cell::real(res.maxOverMean),
               lab::Cell::integer(res.hwRetries),
+              lab::Cell::real(lat.percentile(50)),
+              lab::Cell::real(lat.percentile(95)),
+              lab::Cell::real(lat.percentile(99)),
               lab::Cell::text(res.ok ? "ok" : "FAIL")});
     if (!opt.quiet)
         std::fputs(t.markdown().c_str(), stdout);

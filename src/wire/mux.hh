@@ -173,6 +173,20 @@ class StreamMux
 
     SendState sendState(std::uint16_t sid) const;
     RecvState recvState(std::uint16_t sid) const;
+
+    /** Ids of all sender-side streams ever opened, ascending. */
+    std::vector<std::uint16_t>
+    sendSids() const
+    {
+        std::vector<std::uint16_t> out;
+        out.reserve(send_.size());
+        for (const auto &[sid, ss] : send_)
+            out.push_back(sid);
+        return out;
+    }
+
+    /** The per-stream sliding-window size. */
+    std::uint8_t window() const { return opt_.window; }
     std::size_t unacked(std::uint16_t sid) const;
     std::size_t backlog(std::uint16_t sid) const;
     std::uint32_t deliveredOn(std::uint16_t sid) const;

@@ -71,6 +71,8 @@ runWireWorkload(Stack &stack, const WireWorkload &w)
     sids.reserve(w.streams);
     for (std::uint32_t s = 0; s < w.streams; ++s)
         sids.push_back(mux.openStream());
+    if (w.onStart)
+        w.onStart(proto, mux, sids);
 
     for (std::uint32_t f = 0; f < w.framesPerStream; ++f) {
         for (std::uint32_t s = 0; s < w.streams; ++s) {
@@ -87,6 +89,8 @@ runWireWorkload(Stack &stack, const WireWorkload &w)
     for (const std::uint16_t sid : sids)
         mux.closeStream(sid);
     mux.flush();
+    if (w.onFinish)
+        w.onFinish(mux);
 
     WireRunResult out;
     out.run.counts.src = src.acct().counter().diff(srcBefore);

@@ -30,6 +30,17 @@ struct WireWorkload
     std::uint32_t ackEvery = 1;        ///< wire acks per N frames
     std::uint32_t corruptEvery = 0;    ///< CRC-corrupt every Nth frame
     std::uint64_t fillSeed = 0x5eedf00dULL;
+
+    /**
+     * Observation hooks (pure observers — e.g. telemetry probe
+     * registration; they must not drive the mux).  onStart fires
+     * after every stream is opened, onFinish after the final flush,
+     * before the mux is torn down.
+     */
+    std::function<void(StreamProtocol &, StreamMux &,
+                       const std::vector<std::uint16_t> &)>
+        onStart;
+    std::function<void(StreamMux &)> onFinish;
 };
 
 /** Outcome: the standard breakdown plus the wire-layer counters. */

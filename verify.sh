@@ -36,6 +36,12 @@
 #                                a CRC-corruption recovery smoke, the
 #                                rdma framing-vanishes assertion, and
 #                                the framed-bytes/s trajectory entry
+#   ./verify.sh --tele           only the telemetry gate: O1 (sampled
+#                                scenarios + track digests) against
+#                                its golden and byte-identical across
+#                                -j, the Perfetto ph:"C" counter-track
+#                                schema check, a heatmap/report smoke,
+#                                and the samples/s trajectory entry
 set -euo pipefail
 
 repo_dir="$(cd "$(dirname "$0")" && pwd)"
@@ -382,6 +388,82 @@ EOF
     echo "wire ok: F1 golden + byte-identical, corruption recovered, rdma offload holds"
 }
 
+check_tele() {
+    local tele="$repo_dir/build/src/tele/msgsim-tele"
+    local lab="$repo_dir/build/src/lab/msgsim-lab"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' RETURN
+
+    # O1: the sampled congestion scenarios — simulation results
+    # (which must be sampler-invariant), bottleneck verdicts and the
+    # golden-pinned track digests — against the committed golden, and
+    # byte-identical across -j.
+    (cd "$repo_dir" && "$lab" O1 --check-golden --quiet)
+    (cd "$repo_dir" && "$lab" O1 -j 1 --quiet --json-out="$tmpdir/j1")
+    (cd "$repo_dir" && "$lab" O1 -j 8 --quiet --json-out="$tmpdir/j8")
+    cmp "$tmpdir/j1/O1.json" "$tmpdir/j8/O1.json"
+
+    # The CLI end to end: summary JSON byte-identical across two
+    # runs, heatmap + report emitted, and the counter-track timeline
+    # a valid Chrome trace of ph:"C" samples over every layer.
+    "$tele" --scenario=incast --substrate=cm5 --quiet \
+        --json-out="$tmpdir/a.json" --heatmap-out="$tmpdir/heat.txt" \
+        --report-out="$tmpdir/report.txt" \
+        --timeline-out="$tmpdir/timeline.json"
+    "$tele" --scenario=incast --substrate=cm5 --quiet \
+        --json-out="$tmpdir/b.json"
+    cmp "$tmpdir/a.json" "$tmpdir/b.json"
+    grep -q 'ni.recv_ring\[0\]' "$tmpdir/heat.txt"
+    grep -q 'NI recv ring' "$tmpdir/report.txt"
+
+    "$tele" --scenario=incast --substrate=rdma --quiet \
+        --report-out="$tmpdir/rdma-report.txt"
+    grep -q 'completion queue' "$tmpdir/rdma-report.txt"
+
+    python3 - "$tmpdir/timeline.json" "$tmpdir/heat.txt.json" \
+        "$tmpdir/report.txt.json" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+assert counters, "no ph:'C' counter samples exported"
+assert all("ts" in e and "name" in e and "args" in e
+           for e in counters), "malformed counter record"
+layers = {e["name"].split("/")[-1].split(".")[0] for e in counters}
+assert {"sim", "link", "ni", "traffic"} <= layers, \
+    f"missing counter layers: {sorted(layers)}"
+
+heat = json.load(open(sys.argv[2]))
+assert heat["bins"] > 0 and heat["rows"], heat.keys()
+assert all(len(r["values"]) == heat["bins"] for r in heat["rows"])
+
+report = json.load(open(sys.argv[3]))
+assert report["top_resource"] == "ni.recv_ring[0]", report
+assert report["saturated"], "report found no saturated windows"
+
+print(f"timeline ok: {len(counters)} counter samples over "
+      f"{len(layers)} layers; report names {report['top_resource']}")
+EOF
+
+    # Sampling-throughput wall-clock point for the perf trajectory.
+    (cd "$repo_dir" && "$tele" --scenario=incast --substrate=rdma \
+        --quiet --bench-out=BENCH_throughput.json --bench-label=tele)
+    python3 - "$repo_dir/BENCH_throughput.json" <<'EOF'
+import json, sys
+labels = [e["label"] for e in json.load(open(sys.argv[1]))["entries"]]
+assert "tele" in labels, labels
+print(f"bench trajectory ok: {labels}")
+EOF
+    echo "tele ok: O1 golden + byte-identical, counter timeline valid, bottlenecks attributed"
+}
+
+if [[ "${1:-}" == "--tele" ]]; then
+    check_tele
+    echo "verify --tele: OK"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--wire" ]]; then
     check_wire
     echo "verify --wire: OK"
@@ -440,4 +522,5 @@ check_prof
 check_hostprof
 check_traffic
 check_wire
+check_tele
 echo "verify: OK"
